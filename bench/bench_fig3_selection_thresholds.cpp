@@ -1,0 +1,93 @@
+// Figure 3 — comparing gradient-row selection thresholds:
+//   (a) validation TCA vs epoch for dense / average / average*0.1 / random
+//       selection
+//   (b) sparsity (fraction of rows dropped) for the same four settings
+//
+// Expected shape (paper): the Bernoulli "random selection" convergence
+// curve overlaps the dense one while still dropping a solid fraction of
+// rows; the hard "average" threshold drops too much and hurts accuracy.
+#include <iostream>
+
+#include "harness/harness.hpp"
+
+using namespace dynkge;
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv, "fb15k", {2});
+  const kge::Dataset dataset = bench::make_dataset(options);
+  bench::print_banner(
+      "Figure 3: gradient-vector selection thresholds",
+      "random (Bernoulli) selection tracks the dense convergence curve "
+      "while introducing sparsity; the raw average threshold overshoots",
+      options, dataset);
+
+  struct Variant {
+    const char* name;
+    core::SelectionMode mode;
+  };
+  const Variant variants[] = {
+      {"dense", core::SelectionMode::kNone},
+      {"average", core::SelectionMode::kAverageThreshold},
+      {"averagex0.1", core::SelectionMode::kAverageTenth},
+      {"random", core::SelectionMode::kBernoulli},
+  };
+
+  std::vector<core::TrainReport> reports;
+  for (const auto& variant : variants) {
+    core::TrainConfig config =
+        bench::make_config(options, static_cast<int>(options.nodes[0]));
+    config.strategy =
+        core::StrategyConfig::baseline_allgather(options.baseline_negatives);
+    config.strategy.selection = variant.mode;
+    reports.push_back(bench::run_experiment(dataset, config));
+  }
+
+  // Figure 3a: TCA-vs-epoch curves (sampled rows across the longest run).
+  std::size_t longest = 0;
+  for (const auto& report : reports) {
+    longest = std::max(longest, report.epoch_log.size());
+  }
+  util::Table curve({"epoch", "dense TCA", "average TCA", "averagex0.1 TCA",
+                     "random TCA"});
+  const std::size_t stride = std::max<std::size_t>(1, longest / 20);
+  for (std::size_t epoch = 0; epoch < longest; epoch += stride) {
+    curve.begin_row().add(static_cast<std::int64_t>(epoch));
+    for (const auto& report : reports) {
+      if (epoch < report.epoch_log.size()) {
+        curve.add(report.epoch_log[epoch].val_accuracy, 1);
+      } else {
+        curve.add("-");
+      }
+    }
+  }
+  bench::emit(curve, "Figure 3a (reproduced): TCA vs epoch per threshold",
+              options.csv);
+
+  // Figure 3b: achieved sparsity + summary metrics.
+  util::Table summary(
+      {"threshold", "mean sparsity", "N", "final TCA", "MRR"});
+  for (std::size_t v = 0; v < reports.size(); ++v) {
+    const auto& report = reports[v];
+    double sparsity_sum = 0.0;
+    for (const auto& record : report.epoch_log) {
+      if (record.rows_before_selection > 0) {
+        sparsity_sum += 1.0 - record.rows_sent / record.rows_before_selection;
+      }
+    }
+    summary.begin_row()
+        .add(variants[v].name)
+        .add(sparsity_sum / report.epoch_log.size(), 3)
+        .add(static_cast<std::int64_t>(report.epochs))
+        .add(report.tca, 1)
+        .add(report.ranking.mrr, 3);
+  }
+  bench::emit(summary, "Figure 3b (reproduced): sparsity per threshold",
+              options.csv);
+
+  std::cout << "Shape check: random-selection final TCA ("
+            << reports[3].tca << ") within 2 points of dense ("
+            << reports[0].tca << ") while dropping rows -> "
+            << (reports[3].tca > reports[0].tca - 2.0 ? "holds\n"
+                                                      : "does not hold\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Micro-benchmarks (google-benchmark) for the communication substrate:
+// in-process collective throughput and the analytic cost-model evaluation.
+// These measure the *simulator's* own overhead, not modeled network time.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace {
+
+using dynkge::comm::Cluster;
+using dynkge::comm::Communicator;
+using dynkge::comm::CostModel;
+
+void BM_AllReduceSum(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t elems = static_cast<std::size_t>(state.range(1));
+  Cluster cluster(ranks);
+  for (auto _ : state) {
+    cluster.run([&](Communicator& comm) {
+      std::vector<float> data(elems, 1.0f);
+      comm.allreduce_sum_inplace(data);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          ranks * elems * sizeof(float));
+}
+BENCHMARK(BM_AllReduceSum)
+    ->Args({2, 1 << 10})
+    ->Args({4, 1 << 10})
+    ->Args({8, 1 << 10})
+    ->Args({4, 1 << 14});
+
+void BM_AllGatherV(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t bytes = static_cast<std::size_t>(state.range(1));
+  Cluster cluster(ranks);
+  for (auto _ : state) {
+    cluster.run([&](Communicator& comm) {
+      std::vector<std::byte> local(bytes, std::byte{1});
+      std::vector<std::byte> out;
+      std::vector<std::size_t> counts;
+      comm.allgatherv_bytes(local, out, counts);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          ranks * bytes);
+}
+BENCHMARK(BM_AllGatherV)
+    ->Args({2, 4 << 10})
+    ->Args({4, 4 << 10})
+    ->Args({8, 4 << 10});
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  Cluster cluster(ranks);
+  for (auto _ : state) {
+    cluster.run([&](Communicator& comm) {
+      for (int i = 0; i < 100; ++i) comm.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CostModelAllReduce(benchmark::State& state) {
+  const CostModel model;
+  double acc = 0.0;
+  for (auto _ : state) {
+    for (int p = 2; p <= 16; p *= 2) {
+      acc += model.allreduce_time(p, 1 << 20);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_CostModelAllReduce);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Micro-benchmarks (google-benchmark) for the gradient row codecs: encode
+// and decode throughput per quantization mode and row width.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/quantize.hpp"
+
+namespace {
+
+using dynkge::core::OneBitScale;
+using dynkge::core::QuantMode;
+using dynkge::core::RowCodec;
+using dynkge::util::Rng;
+
+std::vector<float> make_row(std::int32_t width) {
+  std::vector<float> row(width);
+  Rng rng(7);
+  for (auto& v : row) v = static_cast<float>(rng.next_double(-1.0, 1.0));
+  return row;
+}
+
+void BM_Encode(benchmark::State& state) {
+  const auto mode = static_cast<QuantMode>(state.range(0));
+  const auto width = static_cast<std::int32_t>(state.range(1));
+  const RowCodec codec(mode, OneBitScale::kMax, width);
+  const auto row = make_row(width);
+  Rng rng(1);
+  std::vector<std::byte> out;
+  for (auto _ : state) {
+    out.clear();
+    codec.encode(42, row, out, rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          width * sizeof(float));
+}
+BENCHMARK(BM_Encode)
+    ->Args({static_cast<int>(QuantMode::kNone), 64})
+    ->Args({static_cast<int>(QuantMode::kOneBit), 64})
+    ->Args({static_cast<int>(QuantMode::kTwoBit), 64})
+    ->Args({static_cast<int>(QuantMode::kNone), 400})
+    ->Args({static_cast<int>(QuantMode::kOneBit), 400})
+    ->Args({static_cast<int>(QuantMode::kTwoBit), 400});
+
+void BM_Decode(benchmark::State& state) {
+  const auto mode = static_cast<QuantMode>(state.range(0));
+  const auto width = static_cast<std::int32_t>(state.range(1));
+  const RowCodec codec(mode, OneBitScale::kMax, width);
+  const auto row = make_row(width);
+  Rng rng(1);
+  std::vector<std::byte> wire;
+  codec.encode(42, row, wire, rng);
+  std::vector<float> decoded(width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(wire, decoded));
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          width * sizeof(float));
+}
+BENCHMARK(BM_Decode)
+    ->Args({static_cast<int>(QuantMode::kNone), 64})
+    ->Args({static_cast<int>(QuantMode::kOneBit), 64})
+    ->Args({static_cast<int>(QuantMode::kTwoBit), 64})
+    ->Args({static_cast<int>(QuantMode::kOneBit), 400});
+
+void BM_EncodeGrad(benchmark::State& state) {
+  const auto rows = static_cast<std::int32_t>(state.range(0));
+  constexpr std::int32_t kWidth = 64;
+  const RowCodec codec(QuantMode::kOneBit, OneBitScale::kMax, kWidth);
+  dynkge::kge::SparseGrad grad(kWidth);
+  Rng rng(3);
+  for (std::int32_t r = 0; r < rows; ++r) {
+    auto row = grad.accumulate(r * 7);
+    for (auto& v : row) v = static_cast<float>(rng.next_double(-1, 1));
+  }
+  std::vector<std::byte> out;
+  Rng enc_rng(1);
+  for (auto _ : state) {
+    codec.encode_grad(grad, out, enc_rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_EncodeGrad)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Domain example: incremental retraining from a checkpoint.
+//
+//   $ ./checkpoint_workflow
+//
+// Production knowledge bases grow continuously; retraining embeddings
+// from scratch on every update is wasteful. This example trains on an
+// initial graph, checkpoints the model to disk, then "receives" a batch
+// of new facts and compares cold-start retraining against warm-starting
+// from the checkpoint — the warm start converges in a fraction of the
+// epochs.
+#include <iostream>
+
+#include "core/trainer.hpp"
+#include "kge/serialize.hpp"
+#include "kge/synthetic.hpp"
+
+using namespace dynkge;
+
+namespace {
+
+core::TrainConfig base_config() {
+  core::TrainConfig config;
+  config.num_nodes = 2;
+  config.embedding_rank = 16;
+  config.batch_size = 400;
+  config.max_epochs = 150;
+  config.lr.base_lr = 0.01;
+  config.lr.tolerance = 10;
+  config.strategy = core::StrategyConfig::rs_1bit(4);
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  // The "initial" and "grown" graphs: same generator, the second one 25%
+  // larger (a superset in distribution, not necessarily in facts — the
+  // realistic case where new facts also touch existing entities).
+  kge::SyntheticSpec spec;
+  spec.num_entities = 900;
+  spec.num_relations = 72;
+  spec.num_triples = 12000;
+  spec.seed = 77;
+  const kge::Dataset initial = kge::generate_synthetic(spec);
+
+  spec.num_triples = 15000;  // new facts arrived
+  const kge::Dataset grown = kge::generate_synthetic(spec);
+
+  std::cout << initial.summary("initial graph") << "\n"
+            << grown.summary("grown graph") << "\n\n";
+
+  // Phase 1: train on the initial graph and checkpoint.
+  const auto phase1 =
+      core::DistributedTrainer(initial, base_config()).train();
+  const std::string checkpoint = "/tmp/dynkge_checkpoint.dkge";
+  kge::save_model(*phase1.model, checkpoint);
+  std::cout << "phase 1: " << phase1.epochs << " epochs, TCA "
+            << phase1.tca << "%, checkpoint written to " << checkpoint
+            << "\n\n";
+
+  // Phase 2a: cold start on the grown graph.
+  const auto cold = core::DistributedTrainer(grown, base_config()).train();
+
+  // Phase 2b: warm start from the checkpoint.
+  core::TrainConfig warm_config = base_config();
+  warm_config.warm_start = kge::load_model(checkpoint);
+  const auto warm = core::DistributedTrainer(grown, warm_config).train();
+
+  std::cout << "retraining on the grown graph:\n"
+            << "  cold start: " << cold.epochs << " epochs, TT(sim) "
+            << cold.total_sim_seconds << " s, TCA " << cold.tca
+            << "%, MRR " << cold.ranking.mrr << "\n"
+            << "  warm start: " << warm.epochs << " epochs, TT(sim) "
+            << warm.total_sim_seconds << " s, TCA " << warm.tca
+            << "%, MRR " << warm.ranking.mrr << "\n"
+            << (warm.epochs < cold.epochs
+                    ? "warm start converged faster, as expected.\n"
+                    : "warm start did not converge faster on this run.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Domain example: training on your own dataset files.
+//
+//   $ ./custom_dataset [--data <dir>] [--model complex|distmult|transe]
+//
+// Without --data, the example writes a small TSV dataset to a temp
+// directory first, then loads it back through the same loader you would
+// point at real FB15K-style files (train.txt/valid.txt/test.txt, or the
+// OpenKE *2id.txt layout), trains, and compares the three bundled KGE
+// models on it.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/trainer.hpp"
+#include "kge/tsv_loader.hpp"
+#include "util/argparse.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace dynkge;
+
+namespace {
+
+/// Write a demo TSV dataset (capital/located_in/borders facts over a grid
+/// of synthetic "countries") and return its directory.
+std::string write_demo_tsv() {
+  const auto dir = std::filesystem::temp_directory_path() / "dynkge_demo_tsv";
+  std::filesystem::create_directories(dir);
+
+  util::Rng rng(2024);
+  std::vector<std::string> lines;
+  constexpr int kCountries = 60;
+  for (int c = 0; c < kCountries; ++c) {
+    const std::string country = "country_" + std::to_string(c);
+    const std::string capital = "city_" + std::to_string(c) + "_0";
+    lines.push_back(capital + "\tcapital_of\t" + country);
+    for (int city = 0; city < 5; ++city) {
+      lines.push_back("city_" + std::to_string(c) + "_" +
+                      std::to_string(city) + "\tlocated_in\t" + country);
+    }
+    lines.push_back(country + "\tborders\tcountry_" +
+                    std::to_string((c + 1) % kCountries));
+    lines.push_back(country + "\tborders\tcountry_" +
+                    std::to_string((c + 7) % kCountries));
+  }
+  // Deterministic shuffle, then split 90/5/5.
+  for (std::size_t i = lines.size() - 1; i > 0; --i) {
+    std::swap(lines[i], lines[rng.next_below(i + 1)]);
+  }
+  const std::size_t valid_start = lines.size() * 90 / 100;
+  const std::size_t test_start = lines.size() * 95 / 100;
+  const auto write_split = [&](const char* name, std::size_t begin,
+                               std::size_t end) {
+    std::ofstream out(dir / name);
+    for (std::size_t i = begin; i < end; ++i) out << lines[i] << "\n";
+  };
+  write_split("train.txt", 0, valid_start);
+  write_split("valid.txt", valid_start, test_start);
+  write_split("test.txt", test_start, lines.size());
+  return dir.string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  std::string data_dir = args.get_string("data", "");
+  if (data_dir.empty()) {
+    data_dir = write_demo_tsv();
+    std::cout << "no --data given; wrote a demo TSV dataset to " << data_dir
+              << "\n";
+  }
+
+  const kge::Dataset dataset = kge::load_dataset(data_dir);
+  std::cout << dataset.summary(data_dir) << "\n\n";
+
+  const std::string only_model = args.get_string("model", "");
+  util::Table table({"model", "epochs", "TCA %", "MRR", "Hits@10"});
+  for (const std::string model :
+       {"complex", "distmult", "transe", "rotate"}) {
+    if (!only_model.empty() && only_model != model) continue;
+    core::TrainConfig config;
+    config.model_name = model;
+    config.num_nodes = 2;
+    config.embedding_rank = 12;
+    config.batch_size = 128;
+    config.max_epochs = 250;
+    config.lr.base_lr = 0.01;
+    config.lr.tolerance = 20;
+    config.strategy = core::StrategyConfig::rs_1bit(4);
+    const auto report = core::DistributedTrainer(dataset, config).train();
+    table.begin_row()
+        .add(model)
+        .add(static_cast<std::int64_t>(report.epochs))
+        .add(report.tca, 1)
+        .add(report.ranking.mrr, 3)
+        .add(report.ranking.hits10, 3);
+    std::cerr << "trained " << model << "\n";
+  }
+  table.print(std::cout, "Model comparison on the custom dataset:");
+  return 0;
+}

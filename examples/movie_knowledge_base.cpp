@@ -1,0 +1,103 @@
+// Domain example: knowledge-base completion on a hand-written movie graph.
+//
+//   $ ./movie_knowledge_base
+//
+// Builds a small named knowledge base (people, films, genres), trains
+// ComplEx embeddings on a 2-node simulated cluster, and answers
+// link-prediction queries ("who directed X?", "what genre is Y?") with
+// the trained model — the downstream task the paper's introduction
+// motivates.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "kge/graph_builder.hpp"
+
+using namespace dynkge;
+
+int main() {
+  kge::GraphBuilder graph;
+
+  // A structured little film world: directors direct films of their
+  // signature genre; actors star in films of the genres they work in.
+  const std::vector<std::pair<std::string, std::string>> directors = {
+      {"lang", "noir"},     {"kurosawa", "samurai"}, {"leone", "western"},
+      {"melies", "fantasy"}, {"murnau", "noir"},      {"ford", "western"}};
+  const std::vector<std::pair<std::string, std::string>> actors = {
+      {"mifune", "samurai"}, {"eastwood", "western"}, {"brooks", "noir"},
+      {"wayne", "western"},  {"shimura", "samurai"},  {"lorre", "noir"}};
+
+  int film_counter = 0;
+  for (const auto& [director, genre] : directors) {
+    for (int i = 0; i < 4; ++i) {
+      const std::string film =
+          genre + "_film_" + std::to_string(film_counter++);
+      graph.fact(director, "directed", film);
+      graph.fact(film, "has_genre", genre);
+      graph.fact(film, "directed_by", director);
+      for (const auto& [actor, actor_genre] : actors) {
+        if (actor_genre == genre) {
+          graph.fact(actor, "starred_in", film);
+          graph.fact(film, "stars", actor);
+        }
+      }
+    }
+  }
+  for (const auto& [actor, genre] : actors) {
+    graph.fact(actor, "works_in", genre);
+  }
+
+  const kge::Dataset dataset =
+      graph.dataset_with_tail_holdout(/*holdout=*/10);
+  std::cout << dataset.summary("movie knowledge base") << "\n\n";
+
+  core::TrainConfig config;
+  config.num_nodes = 2;
+  config.embedding_rank = 12;
+  config.batch_size = 64;
+  config.max_epochs = 400;
+  config.lr.base_lr = 0.02;
+  config.lr.tolerance = 40;
+  config.valid_max_triples = 0;
+  config.eval_max_triples = 0;
+  config.strategy = core::StrategyConfig::rs_1bit_rp_ss(6, 1);
+
+  std::cout << "training " << config.strategy.label()
+            << " on 2 simulated nodes...\n";
+  const auto report = core::DistributedTrainer(dataset, config).train();
+  std::cout << "epochs: " << report.epochs << "  TCA: " << report.tca
+            << "%  filtered MRR: " << report.ranking.mrr << "\n\n";
+
+  // Answer queries with the trained model: rank all tails for (h, r),
+  // filtering out known facts other than the asked-about ones.
+  const auto top_tails = [&](const std::string& head,
+                             const std::string& relation, int k) {
+    const auto h = graph.entity(head);
+    const auto r = graph.relation(relation);
+    std::vector<double> scores(dataset.num_entities());
+    report.model->score_all_tails(h, r, scores);
+    std::vector<kge::EntityId> order(dataset.num_entities());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<kge::EntityId>(i);
+    }
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [&](kge::EntityId a, kge::EntityId b) {
+                        return scores[a] > scores[b];
+                      });
+    std::cout << "top-" << k << " answers for (" << head << ", " << relation
+              << ", ?):\n";
+    for (int i = 0; i < k; ++i) {
+      std::cout << "  " << graph.entity_name(order[i])
+                << (dataset.contains(h, r, order[i]) ? "  [known fact]"
+                                                     : "")
+                << "\n";
+    }
+    std::cout << "\n";
+  };
+
+  top_tails("kurosawa", "directed", 5);
+  top_tails("noir_film_0", "has_genre", 3);
+  top_tails("eastwood", "starred_in", 5);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: train ComplEx embeddings on a synthetic knowledge graph
+// with the paper's full strategy stack on a simulated 4-node cluster.
+//
+//   $ ./quickstart [--nodes 4] [--epochs 80]
+//
+// Walks through the whole public API: dataset generation, strategy
+// configuration, distributed training, and evaluation.
+#include <iostream>
+
+#include "core/strategy_config.hpp"
+#include "core/trainer.hpp"
+#include "kge/synthetic.hpp"
+#include "util/argparse.hpp"
+
+using namespace dynkge;
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  const int nodes = static_cast<int>(args.get_int("nodes", 4));
+
+  // 1. A knowledge graph. generate_synthetic() builds a Freebase-like
+  //    graph (Zipfian relations, power-law entities, closed world); swap
+  //    in kge::load_dataset("<dir>") for real OpenKE/TSV data.
+  kge::SyntheticSpec spec;
+  spec.num_entities = 1000;
+  spec.num_relations = 80;
+  spec.num_triples = 15000;
+  spec.seed = 7;
+  const kge::Dataset dataset = kge::generate_synthetic(spec);
+  std::cout << dataset.summary("quickstart graph") << "\n\n";
+
+  // 2. The training configuration. StrategyConfig presets mirror the
+  //    paper's method names; drs_1bit_rp_ss is the headline combination:
+  //    dynamic all-reduce/all-gather selection + Bernoulli gradient-row
+  //    selection + 1-bit quantization + relation partition + hard
+  //    negative mining (1 out of 8).
+  core::TrainConfig config;
+  config.num_nodes = nodes;
+  config.embedding_rank = 16;
+  config.batch_size = 500;
+  config.max_epochs = static_cast<int>(args.get_int("epochs", 150));
+  config.lr.base_lr = 0.01;
+  config.lr.tolerance = 12;
+  config.strategy = core::StrategyConfig::drs_1bit_rp_ss(8, 1);
+
+  // 3. Train. The trainer spawns one thread per simulated node; times in
+  //    the report come from the simulated cluster clock (measured compute
+  //    + alpha-beta modeled communication).
+  std::cout << "training " << config.strategy.label() << " on " << nodes
+            << " simulated nodes...\n";
+  core::DistributedTrainer trainer(dataset, config);
+  const core::TrainReport report = trainer.train();
+
+  // 4. Results.
+  std::cout << "\nconverged after " << report.epochs << " epochs ("
+            << (report.converged ? "plateau stop" : "epoch cap") << ")\n"
+            << "simulated training time: " << report.total_sim_seconds
+            << " s (wall: " << report.wall_seconds << " s)\n"
+            << "triple classification accuracy: " << report.tca << " %\n"
+            << "filtered MRR: " << report.ranking.mrr
+            << "   Hits@1/3/10: " << report.ranking.hits1 << " / "
+            << report.ranking.hits3 << " / " << report.ranking.hits10 << "\n"
+            << "bytes on the modeled wire: "
+            << report.comm_stats.total_bytes() / (1 << 20) << " MiB over "
+            << report.comm_stats.total_calls() << " collectives\n";
+  return 0;
+}

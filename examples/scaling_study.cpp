@@ -1,0 +1,76 @@
+// Domain example: a strategy/scale study for capacity planning.
+//
+//   $ ./scaling_study [--nodes 1,2,4,8] [--strategies baseline,full]
+//
+// Sweeps node counts and strategy stacks on an FB15K-like workload and
+// prints the trade-off table an engineering team would use to choose a
+// configuration: simulated training time, epochs, communication volume,
+// and accuracy. This is the "which knobs should we turn for our cluster"
+// workflow the paper's evaluation section encodes.
+#include <iostream>
+
+#include "core/trainer.hpp"
+#include "kge/synthetic.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+
+using namespace dynkge;
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  const auto nodes = args.get_int_list("nodes", {1, 2, 4, 8});
+
+  kge::SyntheticSpec spec;
+  spec.num_entities = 1200;
+  spec.num_relations = 96;
+  spec.num_triples = 18000;
+  spec.seed = 11;
+  const kge::Dataset dataset = kge::generate_synthetic(spec);
+  std::cout << dataset.summary("scaling-study graph") << "\n\n";
+
+  struct Choice {
+    const char* name;
+    core::StrategyConfig strategy;
+  };
+  const std::vector<Choice> choices = {
+      {"baseline (allreduce)", core::StrategyConfig::baseline_allreduce(4)},
+      {"sparse (allgather)", core::StrategyConfig::baseline_allgather(4)},
+      {"compressed (RS+1-bit)", core::StrategyConfig::rs_1bit(4)},
+      {"full stack (DRS+1-bit+RP+SS)",
+       core::StrategyConfig::drs_1bit_rp_ss(8, 1)},
+  };
+
+  util::Table table({"strategy", "nodes", "TT(sim s)", "epochs",
+                     "comm MiB", "TCA %", "MRR"});
+  for (const auto& choice : choices) {
+    for (const std::int64_t node_count : nodes) {
+      core::TrainConfig config;
+      config.num_nodes = static_cast<int>(node_count);
+      config.embedding_rank = 16;
+      config.batch_size = 500;
+      config.max_epochs = 120;
+      config.lr.base_lr = 0.01;
+      config.lr.tolerance = 10;
+      config.network = comm::CostModelParams::bench_scale();
+      config.strategy = choice.strategy;
+      const auto report = core::DistributedTrainer(dataset, config).train();
+      table.begin_row()
+          .add(choice.name)
+          .add(node_count)
+          .add(report.total_sim_seconds, 2)
+          .add(static_cast<std::int64_t>(report.epochs))
+          .add(static_cast<double>(report.comm_stats.total_bytes()) /
+                   (1 << 20),
+               1)
+          .add(report.tca, 1)
+          .add(report.ranking.mrr, 3);
+      std::cerr << "." << std::flush;
+    }
+  }
+  std::cerr << "\n";
+  table.print(std::cout, "Strategy/scale trade-offs:");
+  std::cout << "Reading guide: the full stack should give the lowest TT at "
+               "every node count\nwith MRR at or above the baseline — the "
+               "paper's headline result.\n";
+  return 0;
+}

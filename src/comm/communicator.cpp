@@ -1,0 +1,177 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace dynkge::comm {
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (aborted_.load(std::memory_order_acquire)) throw AbortedError{};
+  const std::uint64_t my_generation = generation_;
+  if (++waiting_ == num_ranks_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] {
+    return generation_ != my_generation ||
+           aborted_.load(std::memory_order_acquire);
+  });
+  if (aborted_.load(std::memory_order_acquire)) throw AbortedError{};
+}
+
+void Barrier::abort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aborted_.store(true, std::memory_order_release);
+  ++generation_;  // unblock anyone who checks the generation predicate
+  cv_.notify_all();
+}
+
+void Communicator::publish_and_sync(const std::byte* data, std::size_t bytes) {
+  state_.ptr[rank_] = data;
+  state_.size[rank_] = bytes;
+  state_.clock[rank_] = sim_now_;
+  state_.barrier.arrive_and_wait();
+}
+
+void Communicator::align_clock() {
+  double max_clock = sim_now_;
+  for (int r = 0; r < num_ranks_; ++r) {
+    max_clock = std::max(max_clock, state_.clock[r]);
+  }
+  sim_now_ = max_clock;
+}
+
+void Communicator::barrier() {
+  publish_and_sync(nullptr, 0);
+  align_clock();
+  const double t = model_.barrier_time(num_ranks_);
+  apply_cost(CollectiveKind::kBarrier, 0, t);
+  release();
+}
+
+void Communicator::allreduce_sum(std::span<const float> in,
+                                 std::span<float> out) {
+  if (in.size() != out.size()) {
+    throw std::invalid_argument("allreduce_sum: size mismatch");
+  }
+  publish_and_sync(reinterpret_cast<const std::byte*>(in.data()),
+                   in.size_bytes());
+  align_clock();
+  // Every rank computes the same sum in the same rank order, into a private
+  // temp so in-place callers do not race with siblings still reading `in`.
+  std::vector<float> tmp(in.size(), 0.0f);
+  for (int r = 0; r < num_ranks_; ++r) {
+    if (state_.size[r] != in.size_bytes()) {
+      state_.barrier.abort();
+      throw std::invalid_argument("allreduce_sum: rank size mismatch");
+    }
+    const auto* p = reinterpret_cast<const float*>(state_.ptr[r]);
+    for (std::size_t i = 0; i < tmp.size(); ++i) tmp[i] += p[i];
+  }
+  const double t = model_.allreduce_time(num_ranks_, in.size_bytes());
+  apply_cost(CollectiveKind::kAllReduce, in.size_bytes(), t);
+  release();
+  std::copy(tmp.begin(), tmp.end(), out.begin());
+}
+
+void Communicator::allreduce_sum_inplace(std::span<float> data) {
+  allreduce_sum(data, data);
+}
+
+double Communicator::allreduce_scalar(double value, ScalarOp op) {
+  state_.scalar[rank_] = value;
+  publish_and_sync(nullptr, 0);
+  align_clock();
+  double result = state_.scalar[0];
+  for (int r = 1; r < num_ranks_; ++r) {
+    const double v = state_.scalar[r];
+    switch (op) {
+      case ScalarOp::kSum:
+        result += v;
+        break;
+      case ScalarOp::kMin:
+        result = std::min(result, v);
+        break;
+      case ScalarOp::kMax:
+        result = std::max(result, v);
+        break;
+    }
+  }
+  const double t = model_.allreduce_time(num_ranks_, sizeof(double));
+  apply_cost(CollectiveKind::kAllReduce, sizeof(double), t);
+  release();
+  return result;
+}
+
+void Communicator::allgatherv_bytes(std::span<const std::byte> local,
+                                    std::vector<std::byte>& out,
+                                    std::vector<std::size_t>& counts,
+                                    bool charge_cost) {
+  publish_and_sync(local.data(), local.size());
+  align_clock();
+  counts.assign(num_ranks_, 0);
+  std::size_t total = 0;
+  for (int r = 0; r < num_ranks_; ++r) {
+    counts[r] = state_.size[r];
+    total += state_.size[r];
+  }
+  out.resize(total);
+  std::size_t offset = 0;
+  for (int r = 0; r < num_ranks_; ++r) {
+    if (counts[r] != 0) {
+      std::memcpy(out.data() + offset, state_.ptr[r], counts[r]);
+    }
+    offset += counts[r];
+  }
+  if (charge_cost) {
+    const double t =
+        model_.allgatherv_time(num_ranks_, total, local.size());
+    apply_cost(CollectiveKind::kAllGatherV, local.size(), t);
+  }
+  release();
+}
+
+void Communicator::charge(CollectiveKind kind, std::size_t total_bytes,
+                          std::size_t self_bytes) {
+  const double t = model_.time_for(kind, num_ranks_, total_bytes, self_bytes);
+  apply_cost(kind, self_bytes, t);
+}
+
+Cluster::Cluster(int num_ranks, CostModelParams params)
+    : num_ranks_(num_ranks), model_(params) {
+  if (num_ranks < 1) {
+    throw std::invalid_argument("Cluster: num_ranks must be >= 1");
+  }
+}
+
+void Cluster::run(const std::function<void(Communicator&)>& fn) {
+  SharedState state(num_ranks_);
+  std::vector<std::exception_ptr> errors(num_ranks_);
+  std::vector<std::thread> threads;
+  threads.reserve(num_ranks_);
+
+  for (int r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator communicator(r, num_ranks_, state, model_);
+      try {
+        fn(communicator);
+      } catch (const AbortedError&) {
+        // Secondary failure caused by a sibling's abort; ignore.
+      } catch (...) {
+        errors[r] = std::current_exception();
+        state.barrier.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace dynkge::comm

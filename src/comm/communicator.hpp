@@ -1,0 +1,306 @@
+// Threads-as-ranks message-passing runtime.
+//
+// This module stands in for MPI/Horovod on the paper's Cray XC40 (see
+// DESIGN.md section 2). Each simulated node is a std::thread with
+// rank-private state; collectives have MPI semantics (synchronous, in rank
+// order, deterministic) and exchange data through a shared staging area
+// guarded by a generation-counted barrier.
+//
+// Timing: physical thread time spent inside collectives is *not* what the
+// experiments report. Instead every Communicator carries a simulated clock:
+// compute segments advance it by measured thread-CPU seconds (see
+// util/thread_clock.hpp), and each collective (a) aligns all ranks' clocks
+// to the maximum — the synchronization a real collective imposes — and
+// (b) adds the alpha-beta-gamma modeled cost of the operation.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+
+namespace dynkge::comm {
+
+/// Thrown out of a pending collective when a sibling rank failed; lets the
+/// remaining ranks unwind instead of deadlocking at the barrier.
+class AbortedError : public std::runtime_error {
+ public:
+  AbortedError() : std::runtime_error("dynkge cluster aborted") {}
+};
+
+/// Generation-counted barrier with abort support.
+class Barrier {
+ public:
+  explicit Barrier(int num_ranks) : num_ranks_(num_ranks) {}
+
+  /// Block until all ranks arrive. Throws AbortedError after abort().
+  void arrive_and_wait();
+
+  /// Wake every waiter and make all current/future waits throw.
+  void abort();
+
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+ private:
+  const int num_ranks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  std::atomic<bool> aborted_{false};
+};
+
+/// Scalar reduction operators for allreduce_scalar.
+enum class ScalarOp { kSum, kMin, kMax };
+
+/// One traced collective on a rank's simulated timeline (tracing is off
+/// by default; see Communicator::enable_trace).
+struct CommEvent {
+  CollectiveKind kind = CollectiveKind::kBarrier;
+  std::size_t bytes = 0;      ///< this rank's modeled traffic
+  double sim_start = 0.0;     ///< simulated time the collective began
+  double sim_end = 0.0;       ///< simulated time it completed
+};
+
+/// Staging area shared by all ranks of one cluster. Slots are valid between
+/// the publish barrier and the release barrier of a single collective.
+struct SharedState {
+  explicit SharedState(int num_ranks)
+      : barrier(num_ranks),
+        ptr(num_ranks, nullptr),
+        size(num_ranks, 0),
+        clock(num_ranks, 0.0),
+        scalar(num_ranks, 0.0) {}
+
+  Barrier barrier;
+  std::vector<const std::byte*> ptr;
+  std::vector<std::size_t> size;
+  std::vector<double> clock;
+  std::vector<double> scalar;
+};
+
+/// One rank's handle to the cluster: identity, collectives, cost accounting
+/// and the simulated clock. Not thread safe across ranks by design — each
+/// rank owns exactly one Communicator.
+class Communicator {
+ public:
+  Communicator(int rank, int num_ranks, SharedState& state,
+               const CostModel& model)
+      : rank_(rank), num_ranks_(num_ranks), state_(state), model_(model) {}
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  int rank() const { return rank_; }
+  int size() const { return num_ranks_; }
+  bool is_root() const { return rank_ == 0; }
+
+  /// Synchronize all ranks (and charge the modeled barrier latency).
+  void barrier();
+
+  /// Root's `data` is copied into every other rank's `data`.
+  template <typename T>
+  void broadcast(std::span<T> data, int root);
+
+  /// Element-wise sum across ranks; every rank receives the full result.
+  /// `in` and `out` must have equal size and may alias.
+  void allreduce_sum(std::span<const float> in, std::span<float> out);
+  void allreduce_sum_inplace(std::span<float> data);
+
+  /// Reduce one double across ranks; every rank receives the result.
+  double allreduce_scalar(double value, ScalarOp op);
+
+  /// Concatenate the byte payloads of all ranks in rank order. `counts[r]`
+  /// receives rank r's contribution size. When `charge_cost` is false the
+  /// clocks are still aligned (it is a synchronization point) but no
+  /// modeled time or bytes are recorded — the caller accounts via charge().
+  void allgatherv_bytes(std::span<const std::byte> local,
+                        std::vector<std::byte>& out,
+                        std::vector<std::size_t>& counts,
+                        bool charge_cost = true);
+
+  /// Typed convenience wrapper over allgatherv_bytes. counts are in
+  /// elements, not bytes.
+  template <typename T>
+  void allgatherv(std::span<const T> local, std::vector<T>& out,
+                  std::vector<std::size_t>& counts);
+
+  /// Root holds `all` partitioned by `counts` (elements per rank, summing
+  /// to all.size()); each rank receives its slice in `out`.
+  template <typename T>
+  void scatterv(std::span<const T> all, std::span<const std::size_t> counts,
+                int root, std::vector<T>& out);
+
+  /// Gather every rank's payload at root (rank order). Non-root ranks get
+  /// empty `out`.
+  template <typename T>
+  void gatherv(std::span<const T> local, int root, std::vector<T>& out,
+               std::vector<std::size_t>& counts);
+
+  /// Record the modeled cost of a collective that was *logically* performed
+  /// even though the in-process transport did something cheaper (e.g. a
+  /// dense allreduce realized as a sparse in-memory merge). Advances the
+  /// simulated clock; does not synchronize.
+  void charge(CollectiveKind kind, std::size_t total_bytes,
+              std::size_t self_bytes);
+
+  // --- simulated clock -----------------------------------------------
+  void sim_add_compute(double seconds) { sim_now_ += seconds; }
+  double sim_now() const { return sim_now_; }
+  void sim_reset() { sim_now_ = 0.0; }
+
+  CommStats& stats() { return stats_; }
+  const CommStats& stats() const { return stats_; }
+  const CostModel& cost_model() const { return model_; }
+
+  /// Start recording every collective as a CommEvent on this rank's
+  /// simulated timeline (profiling aid; adds one vector push per op).
+  void enable_trace() { tracing_ = true; }
+  const std::vector<CommEvent>& trace() const { return trace_; }
+
+ private:
+  /// Account one collective: statistics, optional trace entry, and the
+  /// simulated-clock advance. Single funnel for every cost in this class.
+  void apply_cost(CollectiveKind kind, std::size_t bytes, double seconds) {
+    stats_.record(kind, bytes, seconds);
+    if (tracing_) {
+      trace_.push_back(CommEvent{kind, bytes, sim_now_, sim_now_ + seconds});
+    }
+    sim_now_ += seconds;
+  }
+  /// Publish this rank's payload + clock, wait for siblings, and return.
+  /// After this returns, all ranks' slots are readable.
+  void publish_and_sync(const std::byte* data, std::size_t bytes);
+
+  /// Align the simulated clock to the cluster max (slots must be synced).
+  void align_clock();
+
+  /// Release barrier: siblings may re-publish after this.
+  void release() { state_.barrier.arrive_and_wait(); }
+
+  int rank_;
+  int num_ranks_;
+  SharedState& state_;
+  const CostModel& model_;
+  CommStats stats_;
+  std::vector<CommEvent> trace_;
+  bool tracing_ = false;
+  double sim_now_ = 0.0;
+};
+
+/// Owns the simulated cluster: spawns one thread per rank, hands each a
+/// Communicator, propagates the first failure, and joins everything.
+class Cluster {
+ public:
+  explicit Cluster(int num_ranks,
+                   CostModelParams params = CostModelParams::aries());
+
+  int num_ranks() const { return num_ranks_; }
+  const CostModel& cost_model() const { return model_; }
+
+  /// Run fn on every rank; blocks until all ranks finish. If any rank
+  /// throws, the others are aborted and the first exception is rethrown.
+  void run(const std::function<void(Communicator&)>& fn);
+
+ private:
+  int num_ranks_;
+  CostModel model_;
+};
+
+// ----------------------------------------------------------------------
+// Template implementations.
+
+template <typename T>
+void Communicator::broadcast(std::span<T> data, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t bytes = data.size_bytes();
+  publish_and_sync(reinterpret_cast<const std::byte*>(data.data()), bytes);
+  align_clock();
+  if (rank_ != root) {
+    std::memcpy(data.data(), state_.ptr[root], state_.size[root]);
+  }
+  const double t = model_.broadcast_time(num_ranks_, bytes);
+  apply_cost(CollectiveKind::kBroadcast, rank_ == root ? bytes : 0, t);
+  release();
+}
+
+template <typename T>
+void Communicator::allgatherv(std::span<const T> local, std::vector<T>& out,
+                              std::vector<std::size_t>& counts) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> raw;
+  std::vector<std::size_t> byte_counts;
+  allgatherv_bytes(std::as_bytes(local), raw, byte_counts);
+  out.resize(raw.size() / sizeof(T));
+  if (!raw.empty()) std::memcpy(out.data(), raw.data(), raw.size());
+  counts.resize(byte_counts.size());
+  for (std::size_t r = 0; r < byte_counts.size(); ++r) {
+    counts[r] = byte_counts[r] / sizeof(T);
+  }
+}
+
+template <typename T>
+void Communicator::scatterv(std::span<const T> all,
+                            std::span<const std::size_t> counts, int root,
+                            std::vector<T>& out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  // Root publishes the full buffer; every rank copies its own slice.
+  publish_and_sync(reinterpret_cast<const std::byte*>(all.data()),
+                   all.size_bytes());
+  align_clock();
+  const auto* root_data = reinterpret_cast<const T*>(state_.ptr[root]);
+  const std::size_t total_elems = state_.size[root] / sizeof(T);
+
+  std::size_t offset = 0;
+  for (int r = 0; r < rank_; ++r) offset += counts[r];
+  const std::size_t mine = counts[rank_];
+  if (offset + mine > total_elems) {
+    throw std::invalid_argument("scatterv: counts exceed payload");
+  }
+  out.assign(root_data + offset, root_data + offset + mine);
+
+  const std::size_t total_bytes = total_elems * sizeof(T);
+  const std::size_t root_bytes = counts[root] * sizeof(T);
+  const double t = model_.scatterv_time(num_ranks_, total_bytes, root_bytes);
+  apply_cost(CollectiveKind::kScatterV,
+             rank_ == root ? total_bytes - root_bytes : 0, t);
+  release();
+}
+
+template <typename T>
+void Communicator::gatherv(std::span<const T> local, int root,
+                           std::vector<T>& out,
+                           std::vector<std::size_t>& counts) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  publish_and_sync(reinterpret_cast<const std::byte*>(local.data()),
+                   local.size_bytes());
+  align_clock();
+  counts.assign(num_ranks_, 0);
+  std::size_t total_bytes = 0;
+  for (int r = 0; r < num_ranks_; ++r) {
+    counts[r] = state_.size[r] / sizeof(T);
+    total_bytes += state_.size[r];
+  }
+  out.clear();
+  if (rank_ == root) {
+    out.reserve(total_bytes / sizeof(T));
+    for (int r = 0; r < num_ranks_; ++r) {
+      const auto* p = reinterpret_cast<const T*>(state_.ptr[r]);
+      out.insert(out.end(), p, p + counts[r]);
+    }
+  }
+  const double t = model_.gatherv_time(num_ranks_, total_bytes,
+                                       local.size_bytes());
+  apply_cost(CollectiveKind::kGatherV,
+             rank_ == root ? 0 : local.size_bytes(), t);
+  release();
+}
+
+}  // namespace dynkge::comm

@@ -1,0 +1,56 @@
+#include "core/comm_selector.hpp"
+
+#include <stdexcept>
+
+namespace dynkge::core {
+
+CommModeSelector::CommModeSelector(CommMode mode, int probe_interval)
+    : mode_(mode), probe_interval_(probe_interval) {
+  if (mode == CommMode::kDynamic && probe_interval < 1) {
+    throw std::invalid_argument("CommModeSelector: probe_interval must be >= 1");
+  }
+}
+
+bool CommModeSelector::is_probe_epoch(int epoch) const {
+  return epoch > 0 && epoch % probe_interval_ == 0;
+}
+
+Transport CommModeSelector::transport_for(int epoch) const {
+  switch (mode_) {
+    case CommMode::kAllReduce:
+      return Transport::kAllReduce;
+    case CommMode::kAllGather:
+      return Transport::kAllGather;
+    case CommMode::kParameterServer:
+      return Transport::kParameterServer;
+    case CommMode::kDynamic:
+      // The first epoch is all-reduce (paper); after the switch, always
+      // all-gather; otherwise all-gather only on probe epochs.
+      return (switched_ || is_probe_epoch(epoch)) ? Transport::kAllGather
+                                                  : Transport::kAllReduce;
+  }
+  return Transport::kAllReduce;
+}
+
+void CommModeSelector::record_epoch(int epoch, double comm_seconds) {
+  ++epochs_recorded_;
+  if (transport_for(epoch) == Transport::kAllReduce) ++allreduce_epochs_;
+  if (mode_ != CommMode::kDynamic || switched_) return;
+
+  if (!use_allgather(epoch)) {
+    last_allreduce_time_ = comm_seconds;
+    return;
+  }
+  // This was a probe epoch: compare against the last all-reduce epoch.
+  if (last_allreduce_time_ >= 0.0 && comm_seconds < last_allreduce_time_) {
+    switched_ = true;
+  }
+}
+
+double CommModeSelector::allreduce_fraction() const {
+  if (epochs_recorded_ == 0) return 0.0;
+  return static_cast<double>(allreduce_epochs_) /
+         static_cast<double>(epochs_recorded_);
+}
+
+}  // namespace dynkge::core

@@ -1,0 +1,52 @@
+// Strategy 1 — dynamic selection of all-reduce vs all-gather (section 4.1).
+//
+// Training starts with all-reduce. Every k-th epoch one probe epoch is run
+// with all-gather; if the probe's communication time beats the preceding
+// all-reduce epoch's, the selector switches to all-gather for the rest of
+// training, otherwise it stays on all-reduce and probes again k epochs
+// later. Static modes (pure all-reduce / all-gather) pass through.
+//
+// All ranks feed the selector identical (allreduced) epoch times, so every
+// replica takes the same decision without extra coordination.
+#pragma once
+
+#include "core/strategy_config.hpp"
+
+namespace dynkge::core {
+
+class CommModeSelector {
+ public:
+  CommModeSelector(CommMode mode, int probe_interval);
+
+  /// The transport the upcoming epoch (0-based) should use.
+  Transport transport_for(int epoch) const;
+
+  /// Should the upcoming epoch (0-based) use all-gather?
+  bool use_allgather(int epoch) const {
+    return transport_for(epoch) == Transport::kAllGather;
+  }
+
+  /// Report the finished epoch's communication seconds (cluster max).
+  void record_epoch(int epoch, double comm_seconds);
+
+  /// True once the dynamic selector has committed to all-gather.
+  bool switched_to_allgather() const { return switched_; }
+
+  /// Fraction of recorded epochs that ran all-reduce (the paper's "~60%
+  /// fewer all-reduce communications" observation is read off this).
+  double allreduce_fraction() const;
+
+  CommMode mode() const { return mode_; }
+
+ private:
+  bool is_probe_epoch(int epoch) const;
+
+  CommMode mode_;
+  int probe_interval_;
+  bool switched_ = false;
+  double last_allreduce_time_ = -1.0;
+  int epochs_recorded_ = 0;
+  int allreduce_epochs_ = 0;
+};
+
+}  // namespace dynkge::core

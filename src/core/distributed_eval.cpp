@@ -1,0 +1,92 @@
+#include "core/distributed_eval.hpp"
+
+#include <stdexcept>
+
+#include "comm/communicator.hpp"
+#include "util/thread_clock.hpp"
+
+namespace dynkge::core {
+
+DistributedEvalResult distributed_link_prediction(
+    const kge::KgeModel& model, const kge::Dataset& dataset,
+    std::span<const kge::Triple> triples, int num_ranks,
+    const kge::EvalOptions& options, comm::CostModelParams network) {
+  if (num_ranks < 1) {
+    throw std::invalid_argument(
+        "distributed_link_prediction: num_ranks must be >= 1");
+  }
+
+  // Apply any subsample cap once, globally, so the sharded evaluation
+  // covers exactly the triples a sequential run would.
+  const std::size_t stride =
+      (options.max_triples != 0 && triples.size() > options.max_triples)
+          ? (triples.size() + options.max_triples - 1) / options.max_triples
+          : 1;
+  kge::TripleList selected;
+  for (std::size_t i = 0; i < triples.size(); i += stride) {
+    selected.push_back(triples[i]);
+  }
+
+  DistributedEvalResult result;
+  comm::Cluster cluster(num_ranks, network);
+  cluster.run([&](comm::Communicator& comm) {
+    // Round-robin shard: rank r ranks triples r, r+P, r+2P, ...
+    kge::TripleList shard;
+    for (std::size_t i = comm.rank(); i < selected.size();
+         i += static_cast<std::size_t>(num_ranks)) {
+      shard.push_back(selected[i]);
+    }
+
+    kge::RankingMetrics partial;
+    double compute_seconds = 0.0;
+    {
+      util::ThreadCpuTimer timer(compute_seconds);
+      const kge::Evaluator evaluator(dataset);
+      kge::EvalOptions shard_options = options;
+      shard_options.max_triples = 0;  // cap already applied globally
+      partial = evaluator.link_prediction(model, shard, shard_options);
+    }
+    comm.sim_add_compute(compute_seconds);
+
+    // Convert shard means back to sums, combine exactly, re-normalize.
+    const auto count = static_cast<double>(partial.evaluated);
+    const double total =
+        comm.allreduce_scalar(count, comm::ScalarOp::kSum);
+    const double mrr_sum =
+        comm.allreduce_scalar(partial.mrr * count, comm::ScalarOp::kSum);
+    const double rank_sum = comm.allreduce_scalar(partial.mean_rank * count,
+                                                  comm::ScalarOp::kSum);
+    const double hits1_sum =
+        comm.allreduce_scalar(partial.hits1 * count, comm::ScalarOp::kSum);
+    const double hits3_sum =
+        comm.allreduce_scalar(partial.hits3 * count, comm::ScalarOp::kSum);
+    const double hits10_sum =
+        comm.allreduce_scalar(partial.hits10 * count, comm::ScalarOp::kSum);
+    // Side means are normalized by half the pair count on each shard.
+    const double head_sum = comm.allreduce_scalar(
+        partial.mrr_head_side * count / 2.0, comm::ScalarOp::kSum);
+    const double tail_sum = comm.allreduce_scalar(
+        partial.mrr_tail_side * count / 2.0, comm::ScalarOp::kSum);
+    const double sim_end =
+        comm.allreduce_scalar(comm.sim_now(), comm::ScalarOp::kMax);
+
+    if (comm.is_root()) {
+      kge::RankingMetrics combined;
+      combined.evaluated = static_cast<std::size_t>(total);
+      if (total > 0) {
+        combined.mrr = mrr_sum / total;
+        combined.mean_rank = rank_sum / total;
+        combined.hits1 = hits1_sum / total;
+        combined.hits3 = hits3_sum / total;
+        combined.hits10 = hits10_sum / total;
+        combined.mrr_head_side = head_sum / (total / 2.0);
+        combined.mrr_tail_side = tail_sum / (total / 2.0);
+      }
+      result.metrics = combined;
+      result.sim_seconds = sim_end;
+    }
+  });
+  return result;
+}
+
+}  // namespace dynkge::core

@@ -1,0 +1,144 @@
+#include "core/grad_exchange.hpp"
+
+namespace dynkge::core {
+
+GradExchange::GradExchange(comm::Communicator& comm,
+                           const StrategyConfig& strategy,
+                           std::int32_t num_entities,
+                           std::int32_t entity_width,
+                           std::int32_t num_relations,
+                           std::int32_t relation_width)
+    : comm_(comm),
+      strategy_(strategy),
+      entity_codec_(strategy.quant, strategy.one_bit_scale, entity_width),
+      relation_codec_(strategy.quant, strategy.one_bit_scale, relation_width),
+      raw_entity_codec_(QuantMode::kNone, strategy.one_bit_scale,
+                        entity_width),
+      raw_relation_codec_(QuantMode::kNone, strategy.one_bit_scale,
+                          relation_width),
+      entity_dense_bytes_(static_cast<std::size_t>(num_entities) *
+                          static_cast<std::size_t>(entity_width) *
+                          sizeof(float)),
+      relation_dense_bytes_(static_cast<std::size_t>(num_relations) *
+                            static_cast<std::size_t>(relation_width) *
+                            sizeof(float)) {}
+
+void GradExchange::apply_error_feedback(
+    kge::SparseGrad& local,
+    std::unordered_map<std::int32_t, std::vector<float>>& residual,
+    const RowCodec& codec, util::Rng& rng) {
+  // Fold stored residuals into this step's gradient, then store the new
+  // quantization error. Residuals for rows not touched this step stay
+  // put and flow in whenever the row next appears.
+  const std::vector<std::int32_t> ids = local.sorted_ids();
+  std::vector<float> quantized(static_cast<std::size_t>(codec.width()));
+  for (const std::int32_t id : ids) {
+    auto row = local.row(id);
+    const auto it = residual.find(id);
+    if (it != residual.end()) {
+      for (std::size_t i = 0; i < row.size(); ++i) row[i] += it->second[i];
+    }
+    codec.quantized_values(row, quantized, rng);
+    auto& stored = residual[id];
+    stored.resize(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      stored[i] = row[i] - quantized[i];
+    }
+  }
+}
+
+std::size_t GradExchange::exchange_matrix(
+    kge::SparseGrad& local, kge::SparseGrad& merged, const RowCodec& codec,
+    Transport transport, std::size_t dense_bytes,
+    std::unordered_map<std::int32_t, std::vector<float>>* residual,
+    util::Rng& rng) {
+  if (transport != Transport::kAllReduce && residual != nullptr &&
+      codec.mode() != QuantMode::kNone) {
+    apply_error_feedback(local, *residual, codec, rng);
+  }
+
+  std::vector<std::byte> encoded;
+  codec.encode_grad(local, encoded, rng);
+
+  std::vector<std::byte> gathered;
+  std::vector<std::size_t> counts;
+  // The in-process transport is always a gather of encoded rows; what
+  // differs per mode is the *modeled* collective the clock is charged for:
+  //  - all-gather: the real encoded volume, charged by the collective;
+  //  - all-reduce: the dense matrix a ring all-reduce would carry;
+  //  - parameter server: workers push rows to the server (gatherv — the
+  //    server link carries every worker's volume, the bottleneck the
+  //    paper's introduction describes), which merges and broadcasts the
+  //    merged rows back.
+  comm_.allgatherv_bytes(encoded, gathered, counts,
+                         /*charge_cost=*/transport == Transport::kAllGather);
+  std::size_t total_encoded = 0;
+  for (const std::size_t c : counts) total_encoded += c;
+  codec.decode_accumulate(gathered, merged);
+
+  switch (transport) {
+    case Transport::kAllGather:
+      return encoded.size();
+    case Transport::kAllReduce:
+      comm_.charge(comm::CollectiveKind::kAllReduce, dense_bytes,
+                   dense_bytes);
+      return dense_bytes;
+    case Transport::kParameterServer: {
+      comm_.charge(comm::CollectiveKind::kGatherV, total_encoded,
+                   encoded.size());
+      const std::size_t merged_bytes =
+          merged.num_rows() * codec.bytes_per_row();
+      comm_.charge(comm::CollectiveKind::kBroadcast, merged_bytes,
+                   merged_bytes);
+      return encoded.size() + merged_bytes;
+    }
+  }
+  return encoded.size();
+}
+
+ExchangeResult GradExchange::exchange(kge::ModelGrads& local,
+                                      kge::ModelGrads& merged,
+                                      const ExchangePlan& plan,
+                                      util::Rng& rng) {
+  ExchangeResult result;
+  const double sim_before = comm_.sim_now();
+  merged.clear();
+
+  // On all-reduce epochs the values travel at full precision (a dense
+  // ring all-reduce reduces in transit; quantized codes cannot be summed),
+  // so quantization only takes effect on the row-based transports
+  // (all-gather, parameter server) — which is why quantization shifts the
+  // dynamic selector toward all-gather.
+  const bool row_based = plan.transport != Transport::kAllReduce;
+  const RowCodec& entity_codec =
+      row_based ? entity_codec_ : raw_entity_codec_;
+  const RowCodec& relation_codec =
+      row_based ? relation_codec_ : raw_relation_codec_;
+
+  result.entity_rows_sent = local.entity.num_rows();
+  result.bytes_on_wire += exchange_matrix(
+      local.entity, merged.entity, entity_codec, plan.transport,
+      entity_dense_bytes_,
+      strategy_.error_feedback ? &entity_residual_ : nullptr, rng);
+
+  if (plan.exchange_relations) {
+    result.bytes_on_wire += exchange_matrix(
+        local.relation, merged.relation, relation_codec, plan.transport,
+        relation_dense_bytes_,
+        strategy_.error_feedback ? &relation_residual_ : nullptr, rng);
+  }
+
+  // Cluster average: divide the rank sum by P.
+  const float inv_ranks = 1.0f / static_cast<float>(comm_.size());
+  for (kge::SparseGrad* grad : {&merged.entity, &merged.relation}) {
+    for (const std::int32_t id : grad->sorted_ids()) {
+      for (float& v : grad->row(id)) v *= inv_ranks;
+    }
+  }
+
+  result.entity_rows_merged = merged.entity.num_rows();
+  result.comm_seconds = comm_.sim_now() - sim_before;
+  return result;
+}
+
+}  // namespace dynkge::core

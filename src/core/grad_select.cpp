@@ -1,0 +1,114 @@
+#include "core/grad_select.hpp"
+
+#include <vector>
+
+#include "util/span_math.hpp"
+
+namespace dynkge::core {
+
+SelectionStats select_gradient_rows(kge::SparseGrad& grad, SelectionMode mode,
+                                    util::Rng& rng) {
+  SelectionStats stats;
+  stats.rows_before = grad.num_rows();
+  stats.rows_after = stats.rows_before;
+  if (mode == SelectionMode::kNone || grad.empty()) return stats;
+
+  // Snapshot ids first: erasing while iterating sorted_ids() would
+  // invalidate the cached id list.
+  const std::vector<std::int32_t> ids = grad.sorted_ids();
+  std::vector<double> norms(ids.size());
+  double mean_norm = 0.0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    norms[i] = util::nrm2(grad.row(ids[i]));
+    mean_norm += norms[i];
+  }
+  mean_norm /= static_cast<double>(ids.size());
+  if (mean_norm <= 0.0) return stats;  // all-zero gradient: nothing to rank
+
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    bool keep = true;
+    switch (mode) {
+      case SelectionMode::kAverageThreshold:
+        keep = norms[i] >= mean_norm;
+        break;
+      case SelectionMode::kAverageTenth:
+        keep = norms[i] >= 0.1 * mean_norm;
+        break;
+      case SelectionMode::kBernoulli:
+        keep = rng.next_bernoulli(norms[i] / mean_norm);
+        break;
+      case SelectionMode::kNone:
+        break;
+    }
+    if (keep) {
+      ++kept;
+    } else {
+      grad.erase(ids[i]);
+    }
+  }
+  stats.rows_after = kept;
+  return stats;
+}
+
+SelectionStats GradSelector::apply(kge::SparseGrad& grad, util::Rng& rng) {
+  if (!accumulate_residuals_) {
+    return select_gradient_rows(grad, mode_, rng);
+  }
+
+  // Fold parked residuals into the rows present this step. Rows whose
+  // residual is parked but which are absent from this step's gradient
+  // stay parked (they flow in whenever the row is next touched).
+  for (const std::int32_t id : grad.sorted_ids()) {
+    const auto it = residual_.find(id);
+    if (it == residual_.end()) continue;
+    auto row = grad.row(id);
+    for (std::size_t i = 0; i < row.size(); ++i) row[i] += it->second[i];
+    residual_.erase(it);
+  }
+
+  // Select on the residual-augmented norms, parking what gets dropped.
+  SelectionStats stats;
+  stats.rows_before = grad.num_rows();
+  stats.rows_after = stats.rows_before;
+  if (mode_ == SelectionMode::kNone || grad.empty()) return stats;
+
+  const std::vector<std::int32_t> ids = grad.sorted_ids();
+  std::vector<double> norms(ids.size());
+  double mean_norm = 0.0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    norms[i] = util::nrm2(grad.row(ids[i]));
+    mean_norm += norms[i];
+  }
+  mean_norm /= static_cast<double>(ids.size());
+  if (mean_norm <= 0.0) return stats;
+
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    bool keep = true;
+    switch (mode_) {
+      case SelectionMode::kAverageThreshold:
+        keep = norms[i] >= mean_norm;
+        break;
+      case SelectionMode::kAverageTenth:
+        keep = norms[i] >= 0.1 * mean_norm;
+        break;
+      case SelectionMode::kBernoulli:
+        keep = rng.next_bernoulli(norms[i] / mean_norm);
+        break;
+      case SelectionMode::kNone:
+        break;
+    }
+    if (keep) {
+      ++kept;
+      continue;
+    }
+    const auto row = grad.row(ids[i]);
+    residual_[ids[i]].assign(row.begin(), row.end());
+    grad.erase(ids[i]);
+  }
+  stats.rows_after = kept;
+  return stats;
+}
+
+}  // namespace dynkge::core

@@ -1,0 +1,65 @@
+// Strategy 2 — selecting the gradient vectors (paper section 4.2).
+//
+// The 2-norm of a gradient row is used as a proxy for its contribution to
+// the loss decrease. Rows are dropped from communication either by a hard
+// threshold on the norm (the "average" and "averagex0.1" baselines of
+// figure 3) or — the paper's choice — by a Bernoulli draw per row:
+//
+//   P(keep row i) = min(1, ||g_i||_2 / C),   C = mean row 2-norm,
+//
+// so weak rows still occasionally get through instead of being starved.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/strategy_config.hpp"
+#include "kge/embedding.hpp"
+#include "util/rng.hpp"
+
+namespace dynkge::core {
+
+struct SelectionStats {
+  std::size_t rows_before = 0;
+  std::size_t rows_after = 0;
+
+  /// Fraction of rows dropped (the "sparsity" series of figure 3b).
+  double sparsity() const {
+    return rows_before == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(rows_after) /
+                           static_cast<double>(rows_before);
+  }
+};
+
+/// Drop rows of `grad` in place according to `mode`. `rng` is only used by
+/// the Bernoulli mode. Returns before/after row counts.
+SelectionStats select_gradient_rows(kge::SparseGrad& grad, SelectionMode mode,
+                                    util::Rng& rng);
+
+/// Stateful selector with optional residual accumulation (Aji & Heafield
+/// 2017, cited in the paper's related work): the values of dropped rows
+/// are remembered and folded back into the gradient the next time the row
+/// appears, so repeatedly-weak rows eventually deliver their full
+/// contribution instead of being starved forever.
+class GradSelector {
+ public:
+  GradSelector(SelectionMode mode, bool accumulate_residuals)
+      : mode_(mode), accumulate_residuals_(accumulate_residuals) {}
+
+  /// Fold residuals in, select rows, store new residuals for dropped
+  /// rows. Mutates `grad` in place.
+  SelectionStats apply(kge::SparseGrad& grad, util::Rng& rng);
+
+  /// Number of rows currently parked as residuals.
+  std::size_t pending_rows() const { return residual_.size(); }
+
+ private:
+  SelectionMode mode_;
+  bool accumulate_residuals_;
+  std::unordered_map<std::int32_t, std::vector<float>> residual_;
+};
+
+}  // namespace dynkge::core

@@ -1,0 +1,38 @@
+#include "core/hard_negatives.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dynkge::core {
+
+int select_hard_negatives(const kge::KgeModel& model,
+                          const kge::NegativeSampler& sampler,
+                          const kge::Triple& positive, int sampled, int used,
+                          util::Rng& rng, kge::TripleList& out) {
+  if (sampled < 1 || used < 1) {
+    throw std::invalid_argument("select_hard_negatives: counts must be >= 1");
+  }
+  if (used >= sampled) {
+    sampler.corrupt_n(positive, sampled, rng, out);
+    return 0;
+  }
+
+  std::vector<std::pair<double, kge::Triple>> scored;
+  scored.reserve(sampled);
+  for (int i = 0; i < sampled; ++i) {
+    const kge::Triple negative = sampler.corrupt(positive, rng);
+    scored.emplace_back(
+        model.score(negative.head, negative.relation, negative.tail),
+        negative);
+  }
+  // The hardest negatives are the highest scoring (the model is least sure
+  // they are false). partial_sort keeps this O(n log m).
+  std::partial_sort(scored.begin(), scored.begin() + used, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  for (int i = 0; i < used; ++i) out.push_back(scored[i].second);
+  return sampled;
+}
+
+}  // namespace dynkge::core

@@ -1,0 +1,28 @@
+// Strategy 5 — negative sample selection (paper section 4.5).
+//
+// For each positive triple, draw n uniform corruptions, score them with a
+// forward pass (cheap — no gradients), and train only on the m that the
+// model finds hardest to classify: the ones with the *highest* (least
+// negative) scores. "1 out of n" keeps class balance at 1:1 while still
+// mining informative negatives; "n out of n" recovers the baseline.
+#pragma once
+
+#include <vector>
+
+#include "core/strategy_config.hpp"
+#include "kge/model.hpp"
+#include "kge/negative_sampler.hpp"
+
+namespace dynkge::core {
+
+/// Append to `out` the `used` hardest of `sampled` uniform corruptions of
+/// `positive`. When used >= sampled, all corruptions are appended without
+/// any scoring pass (baseline behaviour, zero overhead).
+/// Returns the number of forward-pass scores computed (0 or `sampled`),
+/// which the trainer charges to the simulated compute clock.
+int select_hard_negatives(const kge::KgeModel& model,
+                          const kge::NegativeSampler& sampler,
+                          const kge::Triple& positive, int sampled, int used,
+                          util::Rng& rng, kge::TripleList& out);
+
+}  // namespace dynkge::core

@@ -1,0 +1,31 @@
+// Quantitative analysis of the gradient codecs: compression ratio,
+// reconstruction error (relative L2), bias, and cosine alignment between
+// a row and its decoded form. Used by tests and the ablation benches to
+// explain *why* the max-scale 1-bit quantizer needs the relation-partition
+// assist (it is sign-faithful but magnitude-inflating) and why error
+// feedback requires a contractive scale.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/quantize.hpp"
+
+namespace dynkge::core {
+
+struct QuantizationQuality {
+  double compression_ratio = 1.0;  ///< raw bytes / encoded bytes
+  double relative_l2_error = 0.0;  ///< ||v - q(v)|| / ||v||
+  double cosine_alignment = 1.0;   ///< <v, q(v)> / (||v|| ||q(v)||)
+  double mean_bias = 0.0;          ///< mean(q(v) - v)
+  bool contraction = false;        ///< ||v - q(v)|| < ||v|| (error feedback
+                                   ///< converges only when this holds)
+};
+
+/// Measure the codec on one row. For the stochastic 2-bit codec the result
+/// is averaged over `trials` encodings.
+QuantizationQuality analyze_quantization(const RowCodec& codec,
+                                         std::span<const float> row,
+                                         util::Rng& rng, int trials = 1);
+
+}  // namespace dynkge::core

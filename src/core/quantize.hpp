@@ -1,0 +1,75 @@
+// Strategy 3 — gradient quantization (paper section 4.3).
+//
+// RowCodec serializes sparse gradient rows into the wire format used by
+// the all-gather exchange. Three modes:
+//
+//   kNone   : [int32 id][width x float32]                (4 + 4w bytes)
+//   kOneBit : [int32 id][float32 scale][w sign bits]     (8 + ceil(w/8))
+//             decoded value = sign(v_i) * scale
+//             scale = max|v| (paper's choice) or one of the section-4.3
+//             variants (avg / negmax / posmax / negavg / posavg)
+//   kTwoBit : [int32 id][float32 scale][w 2-bit codes]   (8 + ceil(w/4))
+//             TernGrad-style: code in {0, +1, -1}, scale = mean|v|,
+//             P(code_i != 0) = min(1, |v_i| / scale)   (stochastic,
+//             unbiased in expectation)
+//
+// The 1-bit scheme cuts the per-value payload 32x, which is what shifts
+// the all-reduce/all-gather crossover and lets the dynamic selector pick
+// all-gather ~60% more often (paper section 4.3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/strategy_config.hpp"
+#include "kge/embedding.hpp"
+#include "util/rng.hpp"
+
+namespace dynkge::core {
+
+class RowCodec {
+ public:
+  RowCodec(QuantMode mode, OneBitScale scale_variant, std::int32_t width);
+
+  QuantMode mode() const { return mode_; }
+  std::int32_t width() const { return width_; }
+
+  /// Fixed serialized size of one row.
+  std::size_t bytes_per_row() const { return bytes_per_row_; }
+
+  /// Append the serialized row to `out`. `rng` drives the 2-bit stochastic
+  /// zeroing and is unused by the other modes.
+  void encode(std::int32_t id, std::span<const float> row,
+              std::vector<std::byte>& out, util::Rng& rng) const;
+
+  /// Parse one serialized row (exactly bytes_per_row() bytes): fills
+  /// `values` (size width()) and returns the row id.
+  std::int32_t decode(std::span<const std::byte> in,
+                      std::span<float> values) const;
+
+  /// Serialize a whole gradient (rows in ascending id order).
+  void encode_grad(const kge::SparseGrad& grad, std::vector<std::byte>& out,
+                   util::Rng& rng) const;
+
+  /// Parse a buffer of serialized rows, *adding* each row's values into
+  /// the accumulator (the merge step of the sparse exchange).
+  void decode_accumulate(std::span<const std::byte> in,
+                         kge::SparseGrad& accumulator) const;
+
+  /// out = decode(encode(in)) without serialization overhead; used to
+  /// compute the quantization residual for error feedback.
+  void quantized_values(std::span<const float> in, std::span<float> out,
+                        util::Rng& rng) const;
+
+ private:
+  float compute_scale(std::span<const float> row) const;
+
+  QuantMode mode_;
+  OneBitScale scale_variant_;
+  std::int32_t width_;
+  std::size_t bytes_per_row_;
+};
+
+}  // namespace dynkge::core

@@ -1,0 +1,126 @@
+#include "core/relation_partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dynkge::core {
+
+std::size_t RelationPartition::max_shard_size() const {
+  std::size_t m = 0;
+  for (const auto& s : shards) m = std::max(m, s.size());
+  return m;
+}
+
+std::size_t RelationPartition::min_shard_size() const {
+  if (shards.empty()) return 0;
+  std::size_t m = shards.front().size();
+  for (const auto& s : shards) m = std::min(m, s.size());
+  return m;
+}
+
+double RelationPartition::imbalance() const {
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  if (total == 0 || shards.empty()) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(shards.size());
+  return static_cast<double>(max_shard_size()) / mean;
+}
+
+bool RelationPartition::relations_disjoint(std::int32_t num_relations) const {
+  std::vector<int> owner(num_relations, -1);
+  for (std::size_t rank = 0; rank < shards.size(); ++rank) {
+    for (const kge::Triple& t : shards[rank]) {
+      if (owner[t.relation] != -1 &&
+          owner[t.relation] != static_cast<int>(rank)) {
+        return false;
+      }
+      owner[t.relation] = static_cast<int>(rank);
+    }
+  }
+  return true;
+}
+
+int RelationPartition::owner_of(kge::RelationId relation) const {
+  for (std::size_t rank = 0; rank < relation_range.size(); ++rank) {
+    const auto& [lo, hi] = relation_range[rank];
+    if (relation >= lo && relation < hi) return static_cast<int>(rank);
+  }
+  return -1;
+}
+
+RelationPartition partition_by_relation(std::span<const kge::Triple> triples,
+                                        int num_ranks,
+                                        std::int32_t num_relations) {
+  if (num_ranks < 1) {
+    throw std::invalid_argument("partition_by_relation: num_ranks < 1");
+  }
+  if (num_relations < 1) {
+    throw std::invalid_argument("partition_by_relation: num_relations < 1");
+  }
+
+  // Count triples per relation, then prefix-sum (paper's construction).
+  std::vector<std::size_t> prefix(static_cast<std::size_t>(num_relations) + 1,
+                                  0);
+  for (const kge::Triple& t : triples) ++prefix[t.relation + 1];
+  for (std::size_t r = 1; r < prefix.size(); ++r) prefix[r] += prefix[r - 1];
+  const std::size_t total = prefix.back();
+
+  RelationPartition partition;
+  partition.shards.resize(num_ranks);
+  partition.relation_range.resize(num_ranks);
+
+  // Binary-search each quantile target in the prefix array to find the
+  // relation boundary closest to an even split.
+  kge::RelationId boundary = 0;
+  for (int rank = 0; rank < num_ranks; ++rank) {
+    const kge::RelationId lo = boundary;
+    kge::RelationId hi;
+    if (rank == num_ranks - 1) {
+      hi = num_relations;
+    } else {
+      const std::size_t target =
+          total * static_cast<std::size_t>(rank + 1) /
+          static_cast<std::size_t>(num_ranks);
+      // First relation boundary whose prefix reaches the target.
+      const auto it =
+          std::lower_bound(prefix.begin() + lo + 1, prefix.end(), target);
+      hi = static_cast<kge::RelationId>(it - prefix.begin());
+      hi = std::min<kge::RelationId>(hi, num_relations);
+    }
+    partition.relation_range[rank] = {lo, hi};
+    boundary = hi;
+  }
+
+  // Scatter triples into their owning shard.
+  for (const kge::Triple& t : triples) {
+    for (int rank = 0; rank < num_ranks; ++rank) {
+      const auto& [lo, hi] = partition.relation_range[rank];
+      if (t.relation >= lo && t.relation < hi) {
+        partition.shards[rank].push_back(t);
+        break;
+      }
+    }
+  }
+  return partition;
+}
+
+std::vector<kge::TripleList> partition_uniform(
+    std::span<const kge::Triple> triples, int num_ranks) {
+  if (num_ranks < 1) {
+    throw std::invalid_argument("partition_uniform: num_ranks < 1");
+  }
+  std::vector<kge::TripleList> shards(num_ranks);
+  const std::size_t base = triples.size() / num_ranks;
+  const std::size_t extra = triples.size() % num_ranks;
+  std::size_t offset = 0;
+  for (int rank = 0; rank < num_ranks; ++rank) {
+    const std::size_t count = base + (static_cast<std::size_t>(rank) < extra);
+    shards[rank].assign(triples.begin() + offset,
+                        triples.begin() + offset + count);
+    offset += count;
+  }
+  return shards;
+}
+
+}  // namespace dynkge::core

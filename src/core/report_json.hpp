@@ -1,0 +1,17 @@
+// JSON export of training reports — the machine-readable companion to the
+// bench tables, for plotting the paper figures from fresh runs.
+#pragma once
+
+#include <string>
+
+#include "core/trainer.hpp"
+
+namespace dynkge::core {
+
+/// Serialize the full report (summary + per-epoch log + traffic stats).
+std::string report_to_json(const TrainReport& report);
+
+/// Write report_to_json(report) to `path`. Throws on I/O failure.
+void write_report_json(const TrainReport& report, const std::string& path);
+
+}  // namespace dynkge::core

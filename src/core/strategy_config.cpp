@@ -1,0 +1,151 @@
+#include "core/strategy_config.hpp"
+
+namespace dynkge::core {
+
+const char* to_string(CommMode mode) {
+  switch (mode) {
+    case CommMode::kAllReduce:
+      return "allreduce";
+    case CommMode::kAllGather:
+      return "allgather";
+    case CommMode::kDynamic:
+      return "dynamic";
+    case CommMode::kParameterServer:
+      return "param-server";
+  }
+  return "?";
+}
+
+const char* to_string(Transport transport) {
+  switch (transport) {
+    case Transport::kAllReduce:
+      return "allreduce";
+    case Transport::kAllGather:
+      return "allgather";
+    case Transport::kParameterServer:
+      return "param-server";
+  }
+  return "?";
+}
+
+const char* to_string(SelectionMode mode) {
+  switch (mode) {
+    case SelectionMode::kNone:
+      return "none";
+    case SelectionMode::kAverageThreshold:
+      return "average";
+    case SelectionMode::kAverageTenth:
+      return "averagex0.1";
+    case SelectionMode::kBernoulli:
+      return "random-selection";
+  }
+  return "?";
+}
+
+const char* to_string(QuantMode mode) {
+  switch (mode) {
+    case QuantMode::kNone:
+      return "none";
+    case QuantMode::kOneBit:
+      return "1-bit";
+    case QuantMode::kTwoBit:
+      return "2-bit";
+  }
+  return "?";
+}
+
+const char* to_string(OneBitScale scale) {
+  switch (scale) {
+    case OneBitScale::kMax:
+      return "max";
+    case OneBitScale::kMean:
+      return "avg";
+    case OneBitScale::kNegMax:
+      return "negmax";
+    case OneBitScale::kPosMax:
+      return "posmax";
+    case OneBitScale::kNegMean:
+      return "negavg";
+    case OneBitScale::kPosMean:
+      return "posavg";
+  }
+  return "?";
+}
+
+std::string StrategyConfig::label() const {
+  std::string out;
+  if (selection == SelectionMode::kBernoulli) {
+    out = comm == CommMode::kDynamic ? "DRS" : "RS";
+  } else {
+    out = to_string(comm);
+  }
+  if (quant == QuantMode::kOneBit) out += "+1-bit";
+  if (quant == QuantMode::kTwoBit) out += "+2-bit";
+  if (relation_partition) out += "+RP";
+  if (sample_selection_active()) out += "+SS";
+  return out;
+}
+
+StrategyConfig StrategyConfig::baseline_allreduce(int negatives) {
+  StrategyConfig config;
+  config.comm = CommMode::kAllReduce;
+  config.negatives_sampled = negatives;
+  config.negatives_used = negatives;
+  return config;
+}
+
+StrategyConfig StrategyConfig::baseline_allgather(int negatives) {
+  StrategyConfig config = baseline_allreduce(negatives);
+  config.comm = CommMode::kAllGather;
+  return config;
+}
+
+StrategyConfig StrategyConfig::baseline_parameter_server(int negatives) {
+  StrategyConfig config = baseline_allreduce(negatives);
+  config.comm = CommMode::kParameterServer;
+  return config;
+}
+
+StrategyConfig StrategyConfig::rs(int negatives) {
+  StrategyConfig config = baseline_allreduce(negatives);
+  config.selection = SelectionMode::kBernoulli;
+  // Selected (sparse) rows travel by all-gather; see grad_exchange.hpp.
+  config.comm = CommMode::kAllGather;
+  return config;
+}
+
+StrategyConfig StrategyConfig::drs(int negatives) {
+  StrategyConfig config = rs(negatives);
+  config.comm = CommMode::kDynamic;
+  return config;
+}
+
+StrategyConfig StrategyConfig::rs_1bit(int negatives) {
+  StrategyConfig config = rs(negatives);
+  config.quant = QuantMode::kOneBit;
+  return config;
+}
+
+StrategyConfig StrategyConfig::drs_1bit(int negatives) {
+  StrategyConfig config = drs(negatives);
+  config.quant = QuantMode::kOneBit;
+  return config;
+}
+
+StrategyConfig StrategyConfig::rs_1bit_rp_ss(int sampled, int used) {
+  StrategyConfig config = rs_1bit(sampled);
+  config.relation_partition = true;
+  config.negatives_sampled = sampled;
+  config.negatives_used = used;
+  return config;
+}
+
+StrategyConfig StrategyConfig::drs_1bit_rp_ss(int sampled, int used) {
+  StrategyConfig config = drs_1bit(sampled);
+  config.relation_partition = true;
+  config.negatives_sampled = sampled;
+  config.negatives_used = used;
+  return config;
+}
+
+}  // namespace dynkge::core

@@ -1,0 +1,424 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/comm_selector.hpp"
+#include "core/grad_exchange.hpp"
+#include "core/grad_select.hpp"
+#include "core/hard_negatives.hpp"
+#include "core/relation_partition.hpp"
+#include "kge/adam.hpp"
+#include "kge/loss.hpp"
+#include "kge/model_factory.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_clock.hpp"
+
+namespace dynkge::core {
+namespace {
+
+using comm::Communicator;
+using comm::ScalarOp;
+using kge::Triple;
+using kge::TripleList;
+using util::Rng;
+using util::ThreadCpuTimer;
+
+/// Loss-gradient coefficients below this are treated as exactly zero, the
+/// same saturation float32 frameworks exhibit (sigmoid(y*phi) rounds to 1
+/// once y*phi > ~16, zeroing the example's gradient). This is what makes
+/// the number of non-zero gradient rows *decrease* as training converges
+/// (paper figure 2) and the all-gather volume shrink late in training.
+constexpr double kCoeffUnderflow = 1e-7;
+
+/// Deterministic Fisher-Yates shuffle.
+void shuffle_triples(TripleList& triples, Rng& rng) {
+  for (std::size_t i = triples.size(); i > 1; --i) {
+    std::swap(triples[i - 1], triples[rng.next_below(i)]);
+  }
+}
+
+}  // namespace
+
+DistributedTrainer::DistributedTrainer(const kge::Dataset& dataset,
+                                       TrainConfig config)
+    : dataset_(dataset), config_(std::move(config)) {
+  if (config_.num_nodes < 1) {
+    throw std::invalid_argument("TrainConfig: num_nodes must be >= 1");
+  }
+  if (config_.batch_size < 1) {
+    throw std::invalid_argument("TrainConfig: batch_size must be >= 1");
+  }
+  if (config_.max_epochs < 1) {
+    throw std::invalid_argument("TrainConfig: max_epochs must be >= 1");
+  }
+  const auto& s = config_.strategy;
+  if (s.negatives_sampled < 1 || s.negatives_used < 1 ||
+      s.negatives_used > s.negatives_sampled) {
+    throw std::invalid_argument(
+        "TrainConfig: require 1 <= negatives_used <= negatives_sampled");
+  }
+}
+
+TrainReport DistributedTrainer::train() {
+  const util::Stopwatch wall;
+  const int num_nodes = config_.num_nodes;
+  const StrategyConfig& strategy = config_.strategy;
+
+  // ---- Partition the training triples (host side, deterministic) ------
+  TripleList train_triples(dataset_.train().begin(), dataset_.train().end());
+  Rng shuffle_rng(util::derive_seed(config_.seed, 0x5u));
+  shuffle_triples(train_triples, shuffle_rng);
+
+  std::vector<TripleList> shards;
+  RelationPartition relation_partition;
+  if (strategy.relation_partition) {
+    relation_partition = partition_by_relation(
+        train_triples, num_nodes, dataset_.num_relations());
+    shards = relation_partition.shards;
+  } else {
+    shards = partition_uniform(train_triples, num_nodes);
+  }
+
+  std::size_t max_shard = 0;
+  for (const auto& shard : shards) max_shard = std::max(max_shard, shard.size());
+  // Every rank must run the same number of synchronized steps per epoch.
+  const std::size_t steps_per_epoch =
+      std::max<std::size_t>(1, (max_shard + config_.batch_size - 1) /
+                                   config_.batch_size);
+
+  TrainReport report;
+  report.strategy_label = strategy.label();
+  report.model_name = config_.model_name;
+  report.num_nodes = num_nodes;
+
+  comm::Cluster cluster(num_nodes, config_.network);
+
+  cluster.run([&](Communicator& comm) {
+    const int rank = comm.rank();
+    if (config_.trace_communication && rank == 0) comm.enable_trace();
+    Rng init_rng(util::derive_seed(config_.seed, 0x1417u));  // same all ranks
+    auto model =
+        kge::make_model(config_.model_name, dataset_.num_entities(),
+                        dataset_.num_relations(), config_.embedding_rank);
+    model->set_init_scale(config_.init_scale);
+    model->init(init_rng);
+    if (config_.warm_start != nullptr) {
+      const auto& source = *config_.warm_start;
+      if (source.entities().rows() != model->entities().rows() ||
+          source.entities().width() != model->entities().width() ||
+          source.relations().rows() != model->relations().rows() ||
+          source.relations().width() != model->relations().width()) {
+        throw std::invalid_argument(
+            "TrainConfig::warm_start: parameter shapes do not match");
+      }
+      std::copy(source.entities().flat().begin(),
+                source.entities().flat().end(),
+                model->entities().flat().begin());
+      std::copy(source.relations().flat().begin(),
+                source.relations().flat().end(),
+                model->relations().flat().begin());
+    }
+
+    kge::AdamConfig adam_config;
+    adam_config.weight_decay = config_.weight_decay;
+    kge::RowAdam entity_opt(dataset_.num_entities(),
+                            model->entities().width(), adam_config);
+    kge::RowAdam relation_opt(dataset_.num_relations(),
+                              model->relations().width(), adam_config);
+
+    GradExchange exchange(comm, strategy, dataset_.num_entities(),
+                          model->entities().width(), dataset_.num_relations(),
+                          model->relations().width());
+    CommModeSelector selector(strategy.comm, strategy.dynamic_probe_interval);
+    PlateauScheduler scheduler(config_.lr, num_nodes);
+    const kge::NegativeSampler sampler(dataset_);
+    const kge::Evaluator evaluator(dataset_);
+
+    TripleList shard = shards[rank];
+    kge::ModelGrads local = model->make_grads();
+    kge::ModelGrads merged = model->make_grads();
+    GradSelector entity_selector(strategy.selection,
+                                 strategy.selection_residual);
+    GradSelector relation_selector(strategy.selection,
+                                   strategy.selection_residual);
+
+    for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+      const double sim_epoch_start = comm.sim_now();
+      const double comm_epoch_start = comm.stats().total_modeled_seconds();
+      const Transport transport = selector.transport_for(epoch);
+
+      Rng epoch_rng(util::derive_seed(config_.seed, rank, epoch, 0xE0u));
+      shuffle_triples(shard, epoch_rng);
+
+      double loss_sum = 0.0;
+      std::size_t loss_count = 0;
+      double rows_before_sum = 0.0, rows_sent_sum = 0.0, rows_merged_sum = 0.0;
+
+      const double lr = scheduler.lr();
+      entity_opt.set_learning_rate(lr);
+      relation_opt.set_learning_rate(lr);
+
+      for (std::size_t step = 0; step < steps_per_epoch; ++step) {
+        // ---- gradient computation (measured compute) ------------------
+        double compute_seconds = 0.0;
+        {
+          ThreadCpuTimer timer(compute_seconds);
+          local.clear();
+          const std::size_t begin =
+              std::min(step * config_.batch_size, shard.size());
+          const std::size_t end =
+              std::min(begin + config_.batch_size, shard.size());
+
+          // Examples this rank trains on: positives + selected negatives.
+          const std::size_t local_examples =
+              (end - begin) *
+              (1 + static_cast<std::size_t>(strategy.negatives_used));
+          const float inv_examples =
+              local_examples == 0 ? 0.0f
+                                  : 1.0f / static_cast<float>(local_examples);
+
+          TripleList negatives;
+          for (std::size_t i = begin; i < end; ++i) {
+            const Triple& positive = shard[i];
+            negatives.clear();
+            select_hard_negatives(*model, sampler, positive,
+                                  strategy.negatives_sampled,
+                                  strategy.negatives_used, epoch_rng,
+                                  negatives);
+
+            const auto pos = kge::logistic_loss(
+                model->score(positive.head, positive.relation, positive.tail),
+                +1);
+            loss_sum += pos.loss;
+            if (std::fabs(pos.dscore) >= kCoeffUnderflow) {
+              model->accumulate_gradients(positive.head, positive.relation,
+                                          positive.tail,
+                                          static_cast<float>(pos.dscore) *
+                                              inv_examples,
+                                          local);
+            }
+            for (const Triple& negative : negatives) {
+              const auto neg = kge::logistic_loss(
+                  model->score(negative.head, negative.relation,
+                               negative.tail),
+                  -1);
+              loss_sum += neg.loss;
+              if (std::fabs(neg.dscore) < kCoeffUnderflow) continue;
+              model->accumulate_gradients(negative.head, negative.relation,
+                                          negative.tail,
+                                          static_cast<float>(neg.dscore) *
+                                              inv_examples,
+                                          local);
+            }
+          }
+          loss_count += local_examples;
+
+          // ---- strategy 2: gradient-row selection ----------------------
+          rows_before_sum += static_cast<double>(local.entity.num_rows());
+          if (strategy.selection != SelectionMode::kNone) {
+            entity_selector.apply(local.entity, epoch_rng);
+            if (!strategy.relation_partition) {
+              relation_selector.apply(local.relation, epoch_rng);
+            }
+          }
+        }
+        comm.sim_add_compute(compute_seconds);
+
+        // ---- strategies 1 & 3: synchronize gradients ------------------
+        ExchangePlan plan;
+        plan.transport = transport;
+        plan.exchange_relations = !strategy.relation_partition;
+        const ExchangeResult xresult =
+            exchange.exchange(local, merged, plan, epoch_rng);
+        rows_sent_sum += static_cast<double>(xresult.entity_rows_sent);
+        rows_merged_sum += static_cast<double>(xresult.entity_rows_merged);
+
+        // ---- optimizer step (measured compute) ------------------------
+        double update_seconds = 0.0;
+        {
+          ThreadCpuTimer timer(update_seconds);
+          entity_opt.begin_step();
+          relation_opt.begin_step();
+          for (const std::int32_t id : merged.entity.sorted_ids()) {
+            entity_opt.update_row(id, merged.entity.row(id),
+                                  model->entities());
+          }
+          // Strategy 4: relation rows update from the local full-precision
+          // gradient (this rank is their only writer); otherwise from the
+          // merged cluster average like entity rows.
+          if (strategy.relation_partition) {
+            const float inv_nodes = 1.0f / static_cast<float>(num_nodes);
+            for (const std::int32_t id : local.relation.sorted_ids()) {
+              auto row = local.relation.row(id);
+              // Match the merged-gradient scaling so the effective step
+              // size is the same with and without partition.
+              for (float& v : row) v *= inv_nodes;
+              relation_opt.update_row(id, row, model->relations());
+            }
+          } else {
+            for (const std::int32_t id : merged.relation.sorted_ids()) {
+              relation_opt.update_row(id, merged.relation.row(id),
+                                      model->relations());
+            }
+          }
+        }
+        comm.sim_add_compute(update_seconds);
+      }
+
+      // ---- validation --------------------------------------------------
+      // Without relation partition every replica is complete, so rank 0
+      // validates and the result is shared. Under relation partition a
+      // rank only holds fresh relation rows for the relations it owns, so
+      // validation is *distributed*: each rank scores the validation
+      // triples of its own relations and the accuracies are combined as a
+      // pair-weighted average.
+      double val_accuracy = 0.0;
+      if (strategy.relation_partition) {
+        double val_seconds = 0.0;
+        double weighted = 0.0, pairs = 0.0;
+        {
+          ThreadCpuTimer timer(val_seconds);
+          const auto valid = dataset_.valid();
+          const std::size_t limit =
+              config_.valid_max_triples == 0
+                  ? valid.size()
+                  : std::min(valid.size(), config_.valid_max_triples);
+          const auto [lo, hi] = relation_partition.relation_range[rank];
+          TripleList mine;
+          for (std::size_t i = 0; i < limit; ++i) {
+            if (valid[i].relation >= lo && valid[i].relation < hi) {
+              mine.push_back(valid[i]);
+            }
+          }
+          const auto [accuracy, count] = evaluator.validation_accuracy_subset(
+              *model, mine, util::derive_seed(config_.seed, epoch, 0xACCu));
+          weighted = accuracy * static_cast<double>(count);
+          pairs = static_cast<double>(count);
+        }
+        comm.sim_add_compute(val_seconds);
+        const double weighted_sum =
+            comm.allreduce_scalar(weighted, ScalarOp::kSum);
+        const double pair_sum = comm.allreduce_scalar(pairs, ScalarOp::kSum);
+        val_accuracy = pair_sum > 0.0 ? weighted_sum / pair_sum : 0.0;
+      } else {
+        if (rank == 0) {
+          double val_seconds = 0.0;
+          {
+            ThreadCpuTimer timer(val_seconds);
+            val_accuracy = evaluator.validation_accuracy(
+                *model, util::derive_seed(config_.seed, epoch, 0xACCu),
+                config_.valid_max_triples);
+          }
+          comm.sim_add_compute(val_seconds);
+        }
+        val_accuracy = comm.allreduce_scalar(val_accuracy, ScalarOp::kMax);
+      }
+
+      // ---- epoch accounting (cluster maxima) ---------------------------
+      const double epoch_comm = comm.allreduce_scalar(
+          comm.stats().total_modeled_seconds() - comm_epoch_start,
+          ScalarOp::kMax);
+      const double epoch_sim = comm.allreduce_scalar(
+          comm.sim_now() - sim_epoch_start, ScalarOp::kMax);
+      const double cluster_loss =
+          comm.allreduce_scalar(loss_sum, ScalarOp::kSum) /
+          std::max(1.0, comm.allreduce_scalar(
+                            static_cast<double>(loss_count), ScalarOp::kSum));
+
+      selector.record_epoch(epoch, epoch_comm);
+      scheduler.observe(val_accuracy);
+
+      if (rank == 0) {
+        EpochRecord record;
+        record.epoch = epoch;
+        record.used_allgather = transport == Transport::kAllGather;
+        record.sim_seconds = epoch_sim;
+        record.comm_seconds = epoch_comm;
+        record.val_accuracy = val_accuracy;
+        record.mean_loss = cluster_loss;
+        record.lr = lr;
+        record.nonzero_entity_rows =
+            rows_merged_sum / static_cast<double>(steps_per_epoch);
+        record.rows_before_selection =
+            rows_before_sum / static_cast<double>(steps_per_epoch);
+        record.rows_sent =
+            rows_sent_sum / static_cast<double>(steps_per_epoch);
+        report.epoch_log.push_back(record);
+        report.total_sim_seconds += epoch_sim;
+        report.epochs = epoch + 1;
+        report.final_val_accuracy = val_accuracy;
+        DYNKGE_LOG_DEBUG("epoch " << epoch << " val=" << val_accuracy
+                                  << " loss=" << cluster_loss
+                                  << " lr=" << lr);
+      }
+
+      if (scheduler.should_stop()) {
+        if (rank == 0) report.converged = true;
+        break;
+      }
+    }
+
+    // ---- verify the replica-consistency invariant ----------------------
+    {
+      // FNV-1a over the entity matrix bytes; identical replicas produce
+      // identical hashes, so cluster-min == cluster-max.
+      const auto flat = model->entities().flat();
+      const auto* bytes = reinterpret_cast<const unsigned char*>(flat.data());
+      std::uint64_t hash = 0xcbf29ce484222325ULL;
+      for (std::size_t i = 0; i < flat.size_bytes(); ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+      }
+      const auto as_double = static_cast<double>(hash >> 11);
+      const double lo = comm.allreduce_scalar(as_double, ScalarOp::kMin);
+      const double hi = comm.allreduce_scalar(as_double, ScalarOp::kMax);
+      if (rank == 0) report.replicas_consistent = (lo == hi);
+    }
+
+    // ---- reassemble relation rows under relation partition ------------
+    if (strategy.relation_partition) {
+      const auto [lo, hi] = relation_partition.relation_range[rank];
+      const std::size_t width = model->relations().width();
+      std::vector<float> mine;
+      mine.reserve(static_cast<std::size_t>(hi - lo) * width);
+      for (kge::RelationId r = lo; r < hi; ++r) {
+        const auto row = model->relations().row(r);
+        mine.insert(mine.end(), row.begin(), row.end());
+      }
+      std::vector<float> gathered;
+      std::vector<std::size_t> counts;
+      comm.allgatherv(std::span<const float>(mine), gathered, counts);
+      // Ranges are contiguous ascending, so the rank-ordered concatenation
+      // is the full relation matrix.
+      if (gathered.size() == model->relations().flat().size()) {
+        std::copy(gathered.begin(), gathered.end(),
+                  model->relations().flat().begin());
+      }
+    }
+
+    if (rank == 0) {
+      report.allreduce_fraction = selector.allreduce_fraction();
+      report.comm_stats = comm.stats();
+      if (config_.trace_communication) report.comm_trace = comm.trace();
+      if (config_.compute_final_metrics) {
+        report.tca = evaluator.triple_classification_accuracy(
+            *model, util::derive_seed(config_.seed, 0x7CAu));
+        kge::EvalOptions eval_options;
+        eval_options.filtered = true;
+        eval_options.max_triples = config_.eval_max_triples;
+        report.ranking =
+            evaluator.link_prediction(*model, dataset_.test(), eval_options);
+      }
+      report.model = std::move(model);
+    }
+  });
+
+  report.wall_seconds = wall.seconds();
+  return report;
+}
+
+}  // namespace dynkge::core

@@ -1,0 +1,134 @@
+// DistributedTrainer — the paper's full training pipeline.
+//
+// One call to train() runs synchronous data-parallel KGE training on the
+// simulated cluster: the training triples are partitioned over P ranks
+// (uniformly, or by relation when strategy 4 is active), each rank holds a
+// full model replica, and every optimizer step merges the ranks' sparse
+// gradients through the configured strategy stack:
+//
+//   batch -> (5) hard negative selection -> gradients
+//         -> (2) gradient-row selection  -> (3) quantization
+//         -> (1) all-reduce / all-gather / dynamic transport
+//         -> (4) relation rows skipped under relation partition
+//         -> sparse Adam on every replica
+//
+// Convergence is decided by the paper's plateau LR schedule on validation
+// accuracy, which yields the per-method epoch counts N; epoch durations
+// come from the simulated clock (measured per-thread compute + modeled
+// communication), which yields the training times TT. See DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/lr_scheduler.hpp"
+#include "core/strategy_config.hpp"
+#include "kge/dataset.hpp"
+#include "kge/evaluator.hpp"
+
+namespace dynkge::core {
+
+struct TrainConfig {
+  std::string model_name = "complex";  ///< complex | distmult | transe
+  std::int32_t embedding_rank = 32;    ///< complex components per embedding
+  float init_scale = 0.1f;  ///< multiplier on the model's default init
+                            ///< scale; small values start scores near zero,
+                            ///< which stabilizes hard-negative mining
+
+  int num_nodes = 1;
+  std::size_t batch_size = 1000;  ///< positives per rank per step
+
+  PlateauConfig lr;            ///< plateau schedule (paper defaults inside)
+  double weight_decay = 1e-6;  ///< 2*lambda of the L2 penalty
+  int max_epochs = 200;        ///< hard cap on top of the plateau stop
+
+  StrategyConfig strategy;
+
+  std::uint64_t seed = 1234;
+
+  /// Optional warm start: every replica copies this model's parameters
+  /// instead of random-initializing (shapes must match the dataset and
+  /// model_name/rank). Enables incremental retraining from a checkpoint.
+  std::shared_ptr<const kge::KgeModel> warm_start;
+
+  std::size_t valid_max_triples = 500;  ///< per-epoch validation subsample
+  std::size_t eval_max_triples = 250;   ///< final MRR ranking subsample
+  bool compute_final_metrics = true;    ///< TCA + MRR after training
+  bool trace_communication = false;     ///< record rank 0's collective
+                                        ///< timeline into the report
+
+  comm::CostModelParams network = comm::CostModelParams::aries();
+};
+
+/// One epoch's worth of telemetry (rank-0 view; cluster maxima for times).
+struct EpochRecord {
+  int epoch = 0;
+  bool used_allgather = false;
+  double sim_seconds = 0.0;   ///< simulated epoch duration
+  double comm_seconds = 0.0;  ///< modeled communication part
+  double val_accuracy = 0.0;  ///< validation TCA in percent
+  double mean_loss = 0.0;     ///< cluster-mean training loss
+  double lr = 0.0;
+  /// Mean unique non-zero entity gradient rows per step after the merge
+  /// (figure 2's series).
+  double nonzero_entity_rows = 0.0;
+  /// Mean rows this rank communicated per step, before/after selection.
+  double rows_before_selection = 0.0;
+  double rows_sent = 0.0;
+};
+
+struct TrainReport {
+  std::string strategy_label;
+  std::string model_name;
+  int num_nodes = 1;
+
+  int epochs = 0;                  ///< the paper's N
+  bool converged = false;          ///< plateau stop (vs max_epochs cap)
+  double total_sim_seconds = 0.0;  ///< the paper's TT (simulated)
+  double total_sim_hours() const { return total_sim_seconds / 3600.0; }
+  double mean_epoch_seconds() const {
+    return epochs == 0 ? 0.0 : total_sim_seconds / epochs;
+  }
+
+  double final_val_accuracy = 0.0;
+  double tca = 0.0;                ///< the paper's TCA (percent)
+  kge::RankingMetrics ranking;     ///< .mrr is the paper's MRR
+
+  std::vector<EpochRecord> epoch_log;
+  comm::CommStats comm_stats;      ///< rank 0 totals
+  double allreduce_fraction = 1.0; ///< share of epochs run with all-reduce
+  double wall_seconds = 0.0;       ///< host wall time (diagnostic only)
+
+  /// Verified at the end of training: every rank holds bit-identical
+  /// entity embeddings (and, without relation partition, relation
+  /// embeddings). Synchronous data-parallel training guarantees this; a
+  /// false value indicates a gradient-exchange bug.
+  bool replicas_consistent = false;
+
+  /// Rank 0's trained replica (relation rows reassembled when relation
+  /// partition was active). Use it for downstream inference: scoring,
+  /// link-prediction queries, further evaluation.
+  std::shared_ptr<kge::KgeModel> model;
+
+  /// Rank 0's collective timeline (only when trace_communication is on).
+  std::vector<comm::CommEvent> comm_trace;
+};
+
+class DistributedTrainer {
+ public:
+  DistributedTrainer(const kge::Dataset& dataset, TrainConfig config);
+
+  /// Run the full training job on a fresh simulated cluster.
+  TrainReport train();
+
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  const kge::Dataset& dataset_;
+  TrainConfig config_;
+};
+
+}  // namespace dynkge::core

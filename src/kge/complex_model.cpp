@@ -1,0 +1,109 @@
+#include "kge/complex_model.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace dynkge::kge {
+
+void ComplExModel::init(util::Rng& rng) {
+  // Xavier-style uniform: keeps initial scores O(1) for any rank.
+  const float scale =
+      init_scale_ * 6.0f / std::sqrt(static_cast<float>(2 * rank_));
+  entities_.init_uniform(rng, scale);
+  relations_.init_uniform(rng, scale);
+}
+
+double ComplExModel::score(EntityId h, RelationId r, EntityId t) const {
+  const auto eh = entities_.row(h);
+  const auto er = relations_.row(r);
+  const auto et = entities_.row(t);
+  const std::int32_t k = rank_;
+  double acc = 0.0;
+  for (std::int32_t i = 0; i < k; ++i) {
+    const double h_re = eh[i], h_im = eh[k + i];
+    const double r_re = er[i], r_im = er[k + i];
+    const double t_re = et[i], t_im = et[k + i];
+    acc += h_re * r_re * t_re + h_im * r_re * t_im + h_re * r_im * t_im -
+           h_im * r_im * t_re;
+  }
+  return acc;
+}
+
+void ComplExModel::accumulate_gradients(EntityId h, RelationId r, EntityId t,
+                                        float coeff,
+                                        ModelGrads& grads) const {
+  const auto eh = entities_.row(h);
+  const auto er = relations_.row(r);
+  const auto et = entities_.row(t);
+  // Create all rows first: `accumulate` may grow the arena and invalidate
+  // previously returned spans, so fetch stable spans via row() afterwards.
+  grads.entity.accumulate(h);
+  grads.entity.accumulate(t);
+  grads.relation.accumulate(r);
+  const auto gh = grads.entity.row(h);
+  const auto gr = grads.relation.row(r);
+  const auto gt = grads.entity.row(t);
+
+  const std::int32_t k = rank_;
+  const float c = coeff;
+  for (std::int32_t i = 0; i < k; ++i) {
+    const float h_re = eh[i], h_im = eh[k + i];
+    const float r_re = er[i], r_im = er[k + i];
+    const float t_re = et[i], t_im = et[k + i];
+
+    gh[i] += c * (r_re * t_re + r_im * t_im);
+    gh[k + i] += c * (r_re * t_im - r_im * t_re);
+
+    gr[i] += c * (h_re * t_re + h_im * t_im);
+    gr[k + i] += c * (h_re * t_im - h_im * t_re);
+
+    gt[i] += c * (h_re * r_re - h_im * r_im);
+    gt[k + i] += c * (h_im * r_re + h_re * r_im);
+  }
+}
+
+void ComplExModel::score_all_tails(EntityId h, RelationId r,
+                                   std::span<double> out) const {
+  const auto eh = entities_.row(h);
+  const auto er = relations_.row(r);
+  const std::int32_t k = rank_;
+  // Compose c = E_h * E_r (complex product); then phi(t) = Re(<c, conj(t)>).
+  std::vector<float> c_re(k), c_im(k);
+  for (std::int32_t i = 0; i < k; ++i) {
+    c_re[i] = eh[i] * er[i] - eh[k + i] * er[k + i];
+    c_im[i] = eh[k + i] * er[i] + eh[i] * er[k + i];
+  }
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    const auto et = entities_.row(e);
+    double acc = 0.0;
+    for (std::int32_t i = 0; i < k; ++i) {
+      acc += static_cast<double>(c_re[i]) * et[i] +
+             static_cast<double>(c_im[i]) * et[k + i];
+    }
+    out[e] = acc;
+  }
+}
+
+void ComplExModel::score_all_heads(RelationId r, EntityId t,
+                                   std::span<double> out) const {
+  const auto er = relations_.row(r);
+  const auto et = entities_.row(t);
+  const std::int32_t k = rank_;
+  // phi as a function of h is linear: phi = <d_re, h_re> + <d_im, h_im>.
+  std::vector<float> d_re(k), d_im(k);
+  for (std::int32_t i = 0; i < k; ++i) {
+    d_re[i] = er[i] * et[i] + er[k + i] * et[k + i];
+    d_im[i] = er[i] * et[k + i] - er[k + i] * et[i];
+  }
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    const auto eh = entities_.row(e);
+    double acc = 0.0;
+    for (std::int32_t i = 0; i < k; ++i) {
+      acc += static_cast<double>(d_re[i]) * eh[i] +
+             static_cast<double>(d_im[i]) * eh[k + i];
+    }
+    out[e] = acc;
+  }
+}
+
+}  // namespace dynkge::kge

@@ -1,0 +1,53 @@
+// A knowledge-graph dataset: train/valid/test triple splits plus the
+// "filter" index of all known-true triples used by filtered MRR evaluation
+// and by negative samplers that must avoid accidentally sampling a true
+// triple.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_set>
+
+#include "kge/triple.hpp"
+
+namespace dynkge::kge {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::int32_t num_entities, std::int32_t num_relations,
+          TripleList train, TripleList valid, TripleList test);
+
+  std::int32_t num_entities() const { return num_entities_; }
+  std::int32_t num_relations() const { return num_relations_; }
+
+  std::span<const Triple> train() const { return train_; }
+  std::span<const Triple> valid() const { return valid_; }
+  std::span<const Triple> test() const { return test_; }
+
+  std::size_t num_facts() const {
+    return train_.size() + valid_.size() + test_.size();
+  }
+
+  /// True if {h, r, t} appears in any split (the filtered-evaluation test).
+  bool contains(EntityId head, RelationId relation, EntityId tail) const {
+    return known_.count(pack_triple(head, relation, tail)) != 0;
+  }
+  bool contains(const Triple& t) const {
+    return contains(t.head, t.relation, t.tail);
+  }
+
+  /// Human-readable one-line summary used by examples and logs.
+  std::string summary(const std::string& name) const;
+
+ private:
+  std::int32_t num_entities_ = 0;
+  std::int32_t num_relations_ = 0;
+  TripleList train_;
+  TripleList valid_;
+  TripleList test_;
+  std::unordered_set<std::uint64_t> known_;
+};
+
+}  // namespace dynkge::kge

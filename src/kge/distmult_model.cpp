@@ -1,0 +1,67 @@
+#include "kge/distmult_model.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace dynkge::kge {
+
+void DistMultModel::init(util::Rng& rng) {
+  const float scale =
+      init_scale_ * 6.0f / std::sqrt(static_cast<float>(rank_));
+  entities_.init_uniform(rng, scale);
+  relations_.init_uniform(rng, scale);
+}
+
+double DistMultModel::score(EntityId h, RelationId r, EntityId t) const {
+  const auto eh = entities_.row(h);
+  const auto er = relations_.row(r);
+  const auto et = entities_.row(t);
+  double acc = 0.0;
+  for (std::int32_t i = 0; i < rank_; ++i) {
+    acc += static_cast<double>(eh[i]) * er[i] * et[i];
+  }
+  return acc;
+}
+
+void DistMultModel::accumulate_gradients(EntityId h, RelationId r, EntityId t,
+                                         float coeff,
+                                         ModelGrads& grads) const {
+  const auto eh = entities_.row(h);
+  const auto er = relations_.row(r);
+  const auto et = entities_.row(t);
+  grads.entity.accumulate(h);
+  grads.entity.accumulate(t);
+  grads.relation.accumulate(r);
+  const auto gh = grads.entity.row(h);
+  const auto gr = grads.relation.row(r);
+  const auto gt = grads.entity.row(t);
+  for (std::int32_t i = 0; i < rank_; ++i) {
+    gh[i] += coeff * er[i] * et[i];
+    gr[i] += coeff * eh[i] * et[i];
+    gt[i] += coeff * eh[i] * er[i];
+  }
+}
+
+void DistMultModel::score_all_tails(EntityId h, RelationId r,
+                                    std::span<double> out) const {
+  const auto eh = entities_.row(h);
+  const auto er = relations_.row(r);
+  std::vector<float> composed(rank_);
+  for (std::int32_t i = 0; i < rank_; ++i) composed[i] = eh[i] * er[i];
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    const auto et = entities_.row(e);
+    double acc = 0.0;
+    for (std::int32_t i = 0; i < rank_; ++i) {
+      acc += static_cast<double>(composed[i]) * et[i];
+    }
+    out[e] = acc;
+  }
+}
+
+void DistMultModel::score_all_heads(RelationId r, EntityId t,
+                                    std::span<double> out) const {
+  // DistMult is symmetric in h and t.
+  score_all_tails(t, r, out);
+}
+
+}  // namespace dynkge::kge

@@ -1,0 +1,179 @@
+#include "kge/evaluator.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dynkge::kge {
+namespace {
+
+/// Best achievable accuracy threshold over (score, is_positive) pairs:
+/// classify score >= threshold as positive. Returns the threshold.
+double fit_threshold(std::vector<std::pair<double, bool>>& pairs) {
+  // Sort descending by score; sweep the threshold between positions.
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  const std::size_t total = pairs.size();
+  std::size_t positives_total = 0;
+  for (const auto& [score, positive] : pairs) positives_total += positive;
+
+  // Threshold above everything: all classified negative.
+  auto correct = static_cast<long long>(total - positives_total);
+  long long best_correct = correct;
+  double best_threshold =
+      pairs.empty() ? 0.0 : pairs.front().first + 1.0;
+  for (std::size_t i = 0; i < total; ++i) {
+    // Move the threshold just below pairs[i].first: item i (and ties
+    // handled by the loop) flips to "classified positive".
+    correct += pairs[i].second ? 1 : -1;
+    if (correct > best_correct &&
+        (i + 1 == total || pairs[i + 1].first < pairs[i].first)) {
+      best_correct = correct;
+      best_threshold = (i + 1 == total)
+                           ? pairs[i].first - 1.0
+                           : 0.5 * (pairs[i].first + pairs[i + 1].first);
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace
+
+RankingMetrics Evaluator::link_prediction(const KgeModel& model,
+                                          std::span<const Triple> triples,
+                                          const EvalOptions& options) const {
+  RankingMetrics metrics;
+  const std::size_t stride =
+      (options.max_triples != 0 && triples.size() > options.max_triples)
+          ? (triples.size() + options.max_triples - 1) / options.max_triples
+          : 1;
+
+  std::vector<double> scores(model.num_entities());
+  double mrr_sum = 0.0, rank_sum = 0.0;
+  double mrr_head_sum = 0.0, mrr_tail_sum = 0.0;
+  std::size_t hits1 = 0, hits3 = 0, hits10 = 0, evaluated = 0;
+
+  const auto rank_side = [&](const Triple& t, bool corrupt_head) {
+    if (corrupt_head) {
+      model.score_all_heads(t.relation, t.tail, scores);
+    } else {
+      model.score_all_tails(t.head, t.relation, scores);
+    }
+    const EntityId true_entity = corrupt_head ? t.head : t.tail;
+    const double true_score = scores[true_entity];
+    std::size_t rank = 1;
+    for (EntityId e = 0; e < model.num_entities(); ++e) {
+      if (e == true_entity || scores[e] <= true_score) continue;
+      if (options.filtered) {
+        const bool known = corrupt_head
+                               ? dataset_->contains(e, t.relation, t.tail)
+                               : dataset_->contains(t.head, t.relation, e);
+        if (known) continue;
+      }
+      ++rank;
+    }
+    const double reciprocal = 1.0 / static_cast<double>(rank);
+    mrr_sum += reciprocal;
+    (corrupt_head ? mrr_head_sum : mrr_tail_sum) += reciprocal;
+    rank_sum += static_cast<double>(rank);
+    hits1 += rank <= 1;
+    hits3 += rank <= 3;
+    hits10 += rank <= 10;
+    ++evaluated;
+  };
+
+  for (std::size_t i = 0; i < triples.size(); i += stride) {
+    rank_side(triples[i], /*corrupt_head=*/true);
+    rank_side(triples[i], /*corrupt_head=*/false);
+  }
+
+  if (evaluated != 0) {
+    metrics.mrr = mrr_sum / static_cast<double>(evaluated);
+    metrics.mean_rank = rank_sum / static_cast<double>(evaluated);
+    metrics.hits1 = static_cast<double>(hits1) / evaluated;
+    metrics.hits3 = static_cast<double>(hits3) / evaluated;
+    metrics.hits10 = static_cast<double>(hits10) / evaluated;
+    // Each side ranks exactly half of `evaluated`.
+    metrics.mrr_head_side = mrr_head_sum / (evaluated / 2.0);
+    metrics.mrr_tail_side = mrr_tail_sum / (evaluated / 2.0);
+  }
+  metrics.evaluated = evaluated;
+  return metrics;
+}
+
+double Evaluator::classification_accuracy(const KgeModel& model,
+                                          std::span<const Triple> fit_split,
+                                          std::span<const Triple> eval_split,
+                                          std::uint64_t seed) const {
+  if (fit_split.empty() || eval_split.empty()) return 0.0;
+  util::Rng fit_rng(util::derive_seed(seed, 0x7CA));
+  util::Rng eval_rng(util::derive_seed(seed, 0x7CB));
+
+  // Fit per-relation thresholds on the fit split.
+  std::unordered_map<RelationId, std::vector<std::pair<double, bool>>>
+      by_relation;
+  std::vector<std::pair<double, bool>> all_pairs;
+  for (const Triple& pos : fit_split) {
+    const Triple neg = sampler_.corrupt(pos, fit_rng);
+    const double pos_score = model.score(pos.head, pos.relation, pos.tail);
+    const double neg_score = model.score(neg.head, neg.relation, neg.tail);
+    by_relation[pos.relation].emplace_back(pos_score, true);
+    by_relation[pos.relation].emplace_back(neg_score, false);
+    all_pairs.emplace_back(pos_score, true);
+    all_pairs.emplace_back(neg_score, false);
+  }
+  std::unordered_map<RelationId, double> thresholds;
+  thresholds.reserve(by_relation.size());
+  for (auto& [relation, pairs] : by_relation) {
+    thresholds[relation] = fit_threshold(pairs);
+  }
+  const double global_threshold = fit_threshold(all_pairs);
+
+  // Classify the eval split (positives + fresh negatives).
+  std::size_t correct = 0, total = 0;
+  for (const Triple& pos : eval_split) {
+    const Triple neg = sampler_.corrupt(pos, eval_rng);
+    const auto it = thresholds.find(pos.relation);
+    const double threshold =
+        it != thresholds.end() ? it->second : global_threshold;
+    correct += model.score(pos.head, pos.relation, pos.tail) >= threshold;
+    correct += model.score(neg.head, neg.relation, neg.tail) < threshold;
+    total += 2;
+  }
+  return 100.0 * static_cast<double>(correct) / static_cast<double>(total);
+}
+
+namespace {
+
+std::span<const Triple> capped(std::span<const Triple> split,
+                               std::size_t max_triples) {
+  if (max_triples == 0 || split.size() <= max_triples) return split;
+  return split.subspan(0, max_triples);
+}
+
+}  // namespace
+
+double Evaluator::triple_classification_accuracy(
+    const KgeModel& model, std::uint64_t seed, std::size_t max_triples) const {
+  return classification_accuracy(model, capped(dataset_->valid(), max_triples),
+                                 capped(dataset_->test(), max_triples), seed);
+}
+
+double Evaluator::validation_accuracy(const KgeModel& model,
+                                      std::uint64_t seed,
+                                      std::size_t max_triples) const {
+  const auto split = capped(dataset_->valid(), max_triples);
+  return classification_accuracy(model, split, split, seed);
+}
+
+std::pair<double, std::size_t> Evaluator::validation_accuracy_subset(
+    const KgeModel& model, std::span<const Triple> subset,
+    std::uint64_t seed) const {
+  if (subset.empty()) return {0.0, 0};
+  return {classification_accuracy(model, subset, subset, seed),
+          2 * subset.size()};
+}
+
+}  // namespace dynkge::kge

@@ -1,0 +1,29 @@
+// The paper's training loss (section 3.1):
+//
+//   min_theta  sum_{h,r,t} log(1 + exp(-Y_{hrt} * phi_{hrt})) + lambda ||theta||^2
+//
+// with Y = +1 for true triples and -1 for corrupted ones. The L2 term is
+// applied as weight decay on the touched rows inside the optimizer (see
+// adam.hpp), which is the sparse-update equivalent of the dense penalty.
+#pragma once
+
+#include "util/span_math.hpp"
+
+namespace dynkge::kge {
+
+struct LossGrad {
+  double loss = 0.0;    ///< log(1 + exp(-y * phi))
+  double dscore = 0.0;  ///< d loss / d phi = -y * sigmoid(-y * phi)
+};
+
+/// Logistic loss of one scored triple with label y in {+1, -1}.
+inline LossGrad logistic_loss(double score, int label) noexcept {
+  const double y = static_cast<double>(label);
+  const double z = -y * score;
+  LossGrad out;
+  out.loss = util::softplus(z);
+  out.dscore = -y * util::sigmoid(z);
+  return out;
+}
+
+}  // namespace dynkge::kge

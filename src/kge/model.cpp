@@ -1,0 +1,15 @@
+#include "kge/model.hpp"
+
+namespace dynkge::kge {
+
+void KgeModel::score_all_tails(EntityId h, RelationId r,
+                               std::span<double> out) const {
+  for (EntityId e = 0; e < num_entities(); ++e) out[e] = score(h, r, e);
+}
+
+void KgeModel::score_all_heads(RelationId r, EntityId t,
+                               std::span<double> out) const {
+  for (EntityId e = 0; e < num_entities(); ++e) out[e] = score(e, r, t);
+}
+
+}  // namespace dynkge::kge

@@ -1,0 +1,95 @@
+// KGE model interface.
+//
+// A model owns two embedding matrices (entities, relations), defines the
+// triple scoring function phi(h, r, t), and knows how to accumulate the
+// analytic gradient of phi with respect to the three touched rows. Loss
+// composition (logistic loss over positive/negative labels) lives in
+// loss.hpp; optimization in adam.hpp; distribution in core/.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "kge/embedding.hpp"
+#include "kge/triple.hpp"
+#include "util/rng.hpp"
+
+namespace dynkge::kge {
+
+/// Gradient rows for both parameter matrices, accumulated over a batch.
+struct ModelGrads {
+  SparseGrad entity;
+  SparseGrad relation;
+
+  ModelGrads() = default;
+  ModelGrads(std::int32_t entity_width, std::int32_t relation_width)
+      : entity(entity_width), relation(relation_width) {}
+
+  void clear() {
+    entity.clear();
+    relation.clear();
+  }
+};
+
+class KgeModel {
+ public:
+  KgeModel(std::int32_t num_entities, std::int32_t num_relations,
+           std::int32_t entity_width, std::int32_t relation_width)
+      : entities_(num_entities, entity_width),
+        relations_(num_relations, relation_width) {}
+  virtual ~KgeModel() = default;
+
+  KgeModel(const KgeModel&) = delete;
+  KgeModel& operator=(const KgeModel&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Initialize both matrices from the given stream (deterministic).
+  virtual void init(util::Rng& rng) = 0;
+
+  /// phi(h, r, t): higher means "more plausible".
+  virtual double score(EntityId h, RelationId r, EntityId t) const = 0;
+
+  /// grads += coeff * d phi / d {E[h], R[r], E[t]}.
+  /// `coeff` is the upstream derivative dLoss/dphi.
+  virtual void accumulate_gradients(EntityId h, RelationId r, EntityId t,
+                                    float coeff, ModelGrads& grads) const = 0;
+
+  /// out[e] = phi(h, r, e) for every entity e. Used by ranking evaluation;
+  /// implementations precompose h*r so the per-candidate cost is one dot
+  /// product.
+  virtual void score_all_tails(EntityId h, RelationId r,
+                               std::span<double> out) const;
+
+  /// out[e] = phi(e, r, t) for every entity e.
+  virtual void score_all_heads(RelationId r, EntityId t,
+                               std::span<double> out) const;
+
+  EmbeddingMatrix& entities() { return entities_; }
+  const EmbeddingMatrix& entities() const { return entities_; }
+  EmbeddingMatrix& relations() { return relations_; }
+  const EmbeddingMatrix& relations() const { return relations_; }
+
+  std::int32_t num_entities() const { return entities_.rows(); }
+  std::int32_t num_relations() const { return relations_.rows(); }
+
+  /// Fresh gradient accumulator with matching row widths.
+  ModelGrads make_grads() const {
+    return ModelGrads(entities_.width(), relations_.width());
+  }
+
+  /// Multiplier on each model's default initialization scale. Values < 1
+  /// start embeddings (and hence scores) closer to zero, which avoids the
+  /// crush-then-rebuild transient that hard-negative mining provokes when
+  /// initial scores are large. Call before init().
+  void set_init_scale(float multiplier) { init_scale_ = multiplier; }
+  float init_scale() const { return init_scale_; }
+
+ protected:
+  EmbeddingMatrix entities_;
+  EmbeddingMatrix relations_;
+  float init_scale_ = 1.0f;
+};
+
+}  // namespace dynkge::kge

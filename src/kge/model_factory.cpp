@@ -1,0 +1,31 @@
+#include "kge/model_factory.hpp"
+
+#include <stdexcept>
+
+#include "kge/complex_model.hpp"
+#include "kge/distmult_model.hpp"
+#include "kge/rotate_model.hpp"
+#include "kge/transe_model.hpp"
+
+namespace dynkge::kge {
+
+std::unique_ptr<KgeModel> make_model(const std::string& name,
+                                     std::int32_t num_entities,
+                                     std::int32_t num_relations,
+                                     std::int32_t rank) {
+  if (name == "complex") {
+    return std::make_unique<ComplExModel>(num_entities, num_relations, rank);
+  }
+  if (name == "distmult") {
+    return std::make_unique<DistMultModel>(num_entities, num_relations, rank);
+  }
+  if (name == "transe") {
+    return std::make_unique<TransEModel>(num_entities, num_relations, rank);
+  }
+  if (name == "rotate") {
+    return std::make_unique<RotatEModel>(num_entities, num_relations, rank);
+  }
+  throw std::invalid_argument("unknown KGE model: " + name);
+}
+
+}  // namespace dynkge::kge

@@ -1,0 +1,20 @@
+// Construction of KGE models by name — used by examples and the bench
+// harness so the model is a command-line choice.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kge/model.hpp"
+
+namespace dynkge::kge {
+
+/// Create a model by name: "complex" (default in the paper), "distmult",
+/// "transe", or "rotate". `rank` is the number of (complex or real)
+/// components. Throws std::invalid_argument for unknown names.
+std::unique_ptr<KgeModel> make_model(const std::string& name,
+                                     std::int32_t num_entities,
+                                     std::int32_t num_relations,
+                                     std::int32_t rank);
+
+}  // namespace dynkge::kge

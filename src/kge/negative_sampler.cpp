@@ -1,0 +1,34 @@
+#include "kge/negative_sampler.hpp"
+
+namespace dynkge::kge {
+
+Triple NegativeSampler::corrupt(const Triple& positive,
+                                util::Rng& rng) const {
+  const auto num_entities =
+      static_cast<std::uint64_t>(dataset_->num_entities());
+  // Bounded retries: on a pathological graph where nearly every corruption
+  // is a true triple, fall back to returning the last candidate rather
+  // than looping forever.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    Triple candidate = positive;
+    const auto replacement = static_cast<EntityId>(rng.next_below(num_entities));
+    if (rng.next_bernoulli(0.5)) {
+      candidate.head = replacement;
+    } else {
+      candidate.tail = replacement;
+    }
+    if (candidate == positive) continue;
+    if (filter_known_ && dataset_->contains(candidate)) continue;
+    return candidate;
+  }
+  Triple fallback = positive;
+  fallback.tail = static_cast<EntityId>(rng.next_below(num_entities));
+  return fallback;
+}
+
+void NegativeSampler::corrupt_n(const Triple& positive, int n, util::Rng& rng,
+                                TripleList& out) const {
+  for (int i = 0; i < n; ++i) out.push_back(corrupt(positive, rng));
+}
+
+}  // namespace dynkge::kge

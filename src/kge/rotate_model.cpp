@@ -1,0 +1,100 @@
+#include "kge/rotate_model.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace dynkge::kge {
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+/// Keeps the modulus gradient finite at zero distance.
+constexpr double kEpsilon = 1e-12;
+
+}  // namespace
+
+void RotatEModel::init(util::Rng& rng) {
+  const float scale =
+      init_scale_ * gamma_ / static_cast<float>(2 * rank_) * 4.0f;
+  entities_.init_uniform(rng, scale);
+  // Phases cover the full circle regardless of the entity init scale.
+  for (auto& theta : relations_.flat()) {
+    theta = static_cast<float>(rng.next_double(-kPi, kPi));
+  }
+}
+
+double RotatEModel::score(EntityId h, RelationId r, EntityId t) const {
+  const auto eh = entities_.row(h);
+  const auto phases = relations_.row(r);
+  const auto et = entities_.row(t);
+  const std::int32_t k = rank_;
+  double distance = 0.0;
+  for (std::int32_t i = 0; i < k; ++i) {
+    const double c = std::cos(phases[i]);
+    const double s = std::sin(phases[i]);
+    const double d_re = eh[i] * c - eh[k + i] * s - et[i];
+    const double d_im = eh[i] * s + eh[k + i] * c - et[k + i];
+    distance += std::sqrt(d_re * d_re + d_im * d_im + kEpsilon);
+  }
+  return gamma_ - distance;
+}
+
+void RotatEModel::accumulate_gradients(EntityId h, RelationId r, EntityId t,
+                                       float coeff, ModelGrads& grads) const {
+  const auto eh = entities_.row(h);
+  const auto phases = relations_.row(r);
+  const auto et = entities_.row(t);
+  grads.entity.accumulate(h);
+  grads.entity.accumulate(t);
+  grads.relation.accumulate(r);
+  const auto gh = grads.entity.row(h);
+  const auto gr = grads.relation.row(r);
+  const auto gt = grads.entity.row(t);
+
+  const std::int32_t k = rank_;
+  for (std::int32_t i = 0; i < k; ++i) {
+    const double c = std::cos(phases[i]);
+    const double s = std::sin(phases[i]);
+    const double h_re = eh[i], h_im = eh[k + i];
+    const double d_re = h_re * c - h_im * s - et[i];
+    const double d_im = h_re * s + h_im * c - et[k + i];
+    const double m = std::sqrt(d_re * d_re + d_im * d_im + kEpsilon);
+    // phi = gamma - sum m_i: d phi / d d = -d / m.
+    const double gd_re = -d_re / m * coeff;
+    const double gd_im = -d_im / m * coeff;
+
+    gh[i] += static_cast<float>(gd_re * c + gd_im * s);
+    gh[k + i] += static_cast<float>(-gd_re * s + gd_im * c);
+    gt[i] += static_cast<float>(-gd_re);
+    gt[k + i] += static_cast<float>(-gd_im);
+    // d d_re/d theta = -h_re s - h_im c;  d d_im/d theta = h_re c - h_im s.
+    gr[i] += static_cast<float>(gd_re * (-h_re * s - h_im * c) +
+                                gd_im * (h_re * c - h_im * s));
+  }
+}
+
+void RotatEModel::score_all_tails(EntityId h, RelationId r,
+                                  std::span<double> out) const {
+  const auto eh = entities_.row(h);
+  const auto phases = relations_.row(r);
+  const std::int32_t k = rank_;
+  // Rotate the head once; each candidate then costs one pass.
+  std::vector<float> rotated(2 * k);
+  for (std::int32_t i = 0; i < k; ++i) {
+    const float c = std::cos(phases[i]);
+    const float s = std::sin(phases[i]);
+    rotated[i] = eh[i] * c - eh[k + i] * s;
+    rotated[k + i] = eh[i] * s + eh[k + i] * c;
+  }
+  for (EntityId e = 0; e < num_entities(); ++e) {
+    const auto et = entities_.row(e);
+    double distance = 0.0;
+    for (std::int32_t i = 0; i < k; ++i) {
+      const double d_re = rotated[i] - et[i];
+      const double d_im = rotated[k + i] - et[k + i];
+      distance += std::sqrt(d_re * d_re + d_im * d_im + kEpsilon);
+    }
+    out[e] = gamma_ - distance;
+  }
+}
+
+}  // namespace dynkge::kge

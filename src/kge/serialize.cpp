@@ -1,0 +1,172 @@
+#include "kge/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "kge/complex_model.hpp"
+#include "kge/distmult_model.hpp"
+#include "kge/rotate_model.hpp"
+#include "kge/transe_model.hpp"
+
+namespace dynkge::kge {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'K', 'G', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t fnv1a(const void* data, std::size_t size,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Canonical lowercase name understood by the loader.
+std::string factory_name(const KgeModel& model) {
+  const std::string name = model.name();
+  if (name == "ComplEx") return "complex";
+  if (name == "DistMult") return "distmult";
+  if (name == "TransE") return "transe";
+  if (name == "RotatE") return "rotate";
+  throw std::runtime_error("save_model: unknown model type " + name);
+}
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value, std::uint64_t& hash) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  hash = fnv1a(&value, sizeof(T), hash);
+}
+
+template <typename T>
+T read_pod(std::ifstream& in, std::uint64_t& hash) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("load_model: truncated file");
+  hash = fnv1a(&value, sizeof(T), hash);
+  return value;
+}
+
+}  // namespace
+
+void save_model(const KgeModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_model: cannot open " + path);
+
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  out.write(kMagic, sizeof(kMagic));
+  hash = fnv1a(kMagic, sizeof(kMagic), hash);
+  write_pod(out, kVersion, hash);
+
+  const std::string name = factory_name(model);
+  write_pod(out, static_cast<std::uint32_t>(name.size()), hash);
+  out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  hash = fnv1a(name.data(), name.size(), hash);
+
+  std::int32_t rank = 0;
+  float gamma = 0.0f;
+  if (const auto* complex_model =
+          dynamic_cast<const ComplExModel*>(&model)) {
+    rank = complex_model->rank();
+  } else if (const auto* distmult =
+                 dynamic_cast<const DistMultModel*>(&model)) {
+    rank = distmult->rank();
+  } else if (const auto* transe = dynamic_cast<const TransEModel*>(&model)) {
+    rank = transe->rank();
+    gamma = transe->gamma();
+  } else if (const auto* rotate = dynamic_cast<const RotatEModel*>(&model)) {
+    rank = rotate->rank();
+    gamma = rotate->gamma();
+  }
+  write_pod(out, rank, hash);
+  write_pod(out, gamma, hash);
+
+  write_pod(out, model.entities().rows(), hash);
+  write_pod(out, model.entities().width(), hash);
+  write_pod(out, model.relations().rows(), hash);
+  write_pod(out, model.relations().width(), hash);
+
+  for (const auto* matrix : {&model.entities(), &model.relations()}) {
+    const auto flat = matrix->flat();
+    out.write(reinterpret_cast<const char*>(flat.data()),
+              static_cast<std::streamsize>(flat.size_bytes()));
+    hash = fnv1a(flat.data(), flat.size_bytes(), hash);
+  }
+
+  out.write(reinterpret_cast<const char*>(&hash), sizeof(hash));
+  if (!out) throw std::runtime_error("save_model: write failed for " + path);
+}
+
+std::unique_ptr<KgeModel> load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_model: cannot open " + path);
+
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_model: bad magic in " + path);
+  }
+  hash = fnv1a(magic, sizeof(magic), hash);
+
+  const auto version = read_pod<std::uint32_t>(in, hash);
+  if (version != kVersion) {
+    throw std::runtime_error("load_model: unsupported version " +
+                             std::to_string(version));
+  }
+
+  const auto name_size = read_pod<std::uint32_t>(in, hash);
+  if (name_size > 64) throw std::runtime_error("load_model: bad name size");
+  std::string name(name_size, '\0');
+  in.read(name.data(), name_size);
+  if (!in) throw std::runtime_error("load_model: truncated file");
+  hash = fnv1a(name.data(), name.size(), hash);
+
+  const auto rank = read_pod<std::int32_t>(in, hash);
+  const auto gamma = read_pod<float>(in, hash);
+  const auto num_entities = read_pod<std::int32_t>(in, hash);
+  const auto entity_width = read_pod<std::int32_t>(in, hash);
+  const auto num_relations = read_pod<std::int32_t>(in, hash);
+  const auto relation_width = read_pod<std::int32_t>(in, hash);
+
+  std::unique_ptr<KgeModel> model;
+  if (name == "complex") {
+    model = std::make_unique<ComplExModel>(num_entities, num_relations, rank);
+  } else if (name == "distmult") {
+    model =
+        std::make_unique<DistMultModel>(num_entities, num_relations, rank);
+  } else if (name == "transe") {
+    model = std::make_unique<TransEModel>(num_entities, num_relations, rank,
+                                          gamma);
+  } else if (name == "rotate") {
+    model = std::make_unique<RotatEModel>(num_entities, num_relations, rank,
+                                          gamma);
+  } else {
+    throw std::runtime_error("load_model: unknown model name " + name);
+  }
+  if (model->entities().width() != entity_width ||
+      model->relations().width() != relation_width) {
+    throw std::runtime_error("load_model: shape mismatch in " + path);
+  }
+
+  for (auto* matrix : {&model->entities(), &model->relations()}) {
+    auto flat = matrix->flat();
+    in.read(reinterpret_cast<char*>(flat.data()),
+            static_cast<std::streamsize>(flat.size_bytes()));
+    if (!in) throw std::runtime_error("load_model: truncated data");
+    hash = fnv1a(flat.data(), flat.size_bytes(), hash);
+  }
+
+  std::uint64_t stored_hash = 0;
+  in.read(reinterpret_cast<char*>(&stored_hash), sizeof(stored_hash));
+  if (!in || stored_hash != hash) {
+    throw std::runtime_error("load_model: checksum mismatch in " + path);
+  }
+  return model;
+}
+
+}  // namespace dynkge::kge

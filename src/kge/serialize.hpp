@@ -1,0 +1,30 @@
+// Model checkpointing: save/load trained embeddings to a versioned binary
+// file with an integrity checksum.
+//
+// Format (little-endian):
+//   magic   "DKGE"            4 bytes
+//   version u32               currently 1
+//   model   u32 name length + bytes ("complex" | "distmult" | "transe")
+//   rank    i32               model rank (complex components)
+//   gamma   f32               TransE margin (0 for other models)
+//   shape   i32 x4            num_entities, entity_width,
+//                             num_relations, relation_width
+//   data    f32[...]          entity matrix then relation matrix, row-major
+//   hash    u64               FNV-1a over everything above
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kge/model.hpp"
+
+namespace dynkge::kge {
+
+/// Write `model` to `path`. Throws std::runtime_error on I/O failure.
+void save_model(const KgeModel& model, const std::string& path);
+
+/// Read a model back. Throws std::runtime_error on missing file, magic or
+/// checksum mismatch, or an unknown model name.
+std::unique_ptr<KgeModel> load_model(const std::string& path);
+
+}  // namespace dynkge::kge

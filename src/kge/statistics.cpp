@@ -1,0 +1,129 @@
+#include "kge/statistics.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dynkge::kge {
+namespace {
+
+double gini(std::vector<std::size_t> counts) {
+  // Standard formula over the sorted distribution; 0 for empty/uniform.
+  counts.erase(std::remove(counts.begin(), counts.end(), 0u), counts.end());
+  if (counts.size() < 2) return 0.0;
+  std::sort(counts.begin(), counts.end());
+  double weighted = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>(counts[i]);
+    total += static_cast<double>(counts[i]);
+  }
+  const double n = static_cast<double>(counts.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+}  // namespace
+
+const char* to_string(RelationCardinality cardinality) {
+  switch (cardinality) {
+    case RelationCardinality::kOneToOne:
+      return "1-1";
+    case RelationCardinality::kOneToMany:
+      return "1-N";
+    case RelationCardinality::kManyToOne:
+      return "N-1";
+    case RelationCardinality::kManyToMany:
+      return "N-N";
+  }
+  return "?";
+}
+
+DatasetStats compute_statistics(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.train_triples = dataset.train().size();
+  stats.valid_triples = dataset.valid().size();
+  stats.test_triples = dataset.test().size();
+
+  std::vector<std::size_t> entity_degree(dataset.num_entities(), 0);
+  std::vector<std::size_t> relation_count(dataset.num_relations(), 0);
+  // Per relation: distinct heads, distinct tails (for cardinality).
+  std::vector<std::set<EntityId>> heads_of(dataset.num_relations());
+  std::vector<std::set<EntityId>> tails_of(dataset.num_relations());
+
+  for (const Triple& t : dataset.train()) {
+    ++entity_degree[t.head];
+    ++entity_degree[t.tail];
+    ++relation_count[t.relation];
+    heads_of[t.relation].insert(t.head);
+    tails_of[t.relation].insert(t.tail);
+  }
+
+  std::size_t degree_sum = 0;
+  for (const std::size_t d : entity_degree) {
+    if (d > 0) ++stats.entities_used;
+    degree_sum += d;
+    stats.max_entity_degree = std::max(stats.max_entity_degree, d);
+  }
+  stats.mean_entity_degree =
+      stats.entities_used == 0
+          ? 0.0
+          : static_cast<double>(degree_sum) /
+                static_cast<double>(stats.entities_used);
+
+  std::size_t relation_sum = 0;
+  for (RelationId r = 0; r < dataset.num_relations(); ++r) {
+    const std::size_t count = relation_count[r];
+    if (count == 0) continue;
+    ++stats.relations_used;
+    relation_sum += count;
+    stats.max_relation_count = std::max(stats.max_relation_count, count);
+
+    const double tails_per_head =
+        static_cast<double>(count) /
+        static_cast<double>(heads_of[r].size());
+    const double heads_per_tail =
+        static_cast<double>(count) /
+        static_cast<double>(tails_of[r].size());
+    RelationCardinality cardinality;
+    if (tails_per_head < 1.5 && heads_per_tail < 1.5) {
+      cardinality = RelationCardinality::kOneToOne;
+    } else if (tails_per_head >= 1.5 && heads_per_tail < 1.5) {
+      cardinality = RelationCardinality::kOneToMany;
+    } else if (tails_per_head < 1.5) {
+      cardinality = RelationCardinality::kManyToOne;
+    } else {
+      cardinality = RelationCardinality::kManyToMany;
+    }
+    ++stats.cardinality_counts[static_cast<int>(cardinality)];
+  }
+  stats.mean_relation_count =
+      stats.relations_used == 0
+          ? 0.0
+          : static_cast<double>(relation_sum) /
+                static_cast<double>(stats.relations_used);
+
+  stats.relation_gini = gini(relation_count);
+  stats.entity_gini = gini(entity_degree);
+  return stats;
+}
+
+std::string DatasetStats::summary() const {
+  std::ostringstream os;
+  os << "triples: " << train_triples << " train / " << valid_triples
+     << " valid / " << test_triples << " test\n"
+     << "entities used: " << entities_used
+     << " (mean degree " << mean_entity_degree << ", max "
+     << max_entity_degree << ", gini " << entity_gini << ")\n"
+     << "relations used: " << relations_used << " (mean count "
+     << mean_relation_count << ", max " << max_relation_count << ", gini "
+     << relation_gini << ")\n"
+     << "relation cardinality: ";
+  for (int c = 0; c < 4; ++c) {
+    os << to_string(static_cast<RelationCardinality>(c)) << "="
+       << cardinality_counts[c] << (c < 3 ? "  " : "");
+  }
+  return os.str();
+}
+
+}  // namespace dynkge::kge

@@ -1,0 +1,55 @@
+// Dataset statistics: the structural properties the paper's strategies
+// depend on (relation skew drives relation-partition balance, entity
+// degree skew drives gradient-row sparsity) plus the standard TransE-style
+// relation cardinality classification (1-1 / 1-N / N-1 / N-N).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "kge/dataset.hpp"
+
+namespace dynkge::kge {
+
+enum class RelationCardinality : int {
+  kOneToOne = 0,
+  kOneToMany,
+  kManyToOne,
+  kManyToMany,
+};
+
+const char* to_string(RelationCardinality cardinality);
+
+struct DatasetStats {
+  std::size_t train_triples = 0;
+  std::size_t valid_triples = 0;
+  std::size_t test_triples = 0;
+
+  std::size_t entities_used = 0;   ///< entities appearing in >= 1 triple
+  std::size_t relations_used = 0;
+
+  double mean_entity_degree = 0.0;
+  std::size_t max_entity_degree = 0;
+  double mean_relation_count = 0.0;
+  std::size_t max_relation_count = 0;
+
+  /// Gini coefficient of the per-relation triple counts — 0 is uniform,
+  /// towards 1 is Zipf-skewed (FB15K's relations are heavily skewed).
+  double relation_gini = 0.0;
+  /// Gini coefficient of entity degrees.
+  double entity_gini = 0.0;
+
+  /// Relations per cardinality class (Bordes et al. 1.5 thresholds on the
+  /// average tails-per-head and heads-per-tail).
+  std::array<std::size_t, 4> cardinality_counts{};
+
+  /// Multi-line human-readable rendering.
+  std::string summary() const;
+};
+
+/// Compute statistics over the train split (the split training sees).
+DatasetStats compute_statistics(const Dataset& dataset);
+
+}  // namespace dynkge::kge

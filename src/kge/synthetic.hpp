@@ -1,0 +1,64 @@
+// Synthetic Freebase-like knowledge-graph generator.
+//
+// The paper evaluates on FB15K and FB250K, which are not redistributable
+// here (DESIGN.md section 2). This generator produces graphs with the same
+// statistical structure the paper's strategies depend on:
+//
+//  * Zipfian relation frequencies — a few relations carry most triples,
+//    which is what makes relation partitioning balance non-trivial and
+//    gradient-row sparsity per batch skewed.
+//  * Power-law entity popularity — hub entities get dense gradient rows
+//    every batch, tail entities rarely, driving the all-gather sparsity
+//    the dynamic communication selection exploits.
+//  * A closed-world cluster-pair ground truth — each relation r selects a
+//    head set H_r and a tail set T_r (popularity-biased subsets of two
+//    latent entity types) and *every* pair H_r x T_r is a fact in the
+//    dataset. This makes the graph learnable (the bilinear cluster
+//    structure is exactly what ComplEx represents), and — critically for
+//    strategy 5 — closed-world: a filtered corruption sampler can never
+//    produce a plausible-but-unrecorded triple, so the "hardest" negatives
+//    are genuinely false, the same property that makes hard-negative
+//    mining effective on FB15K.
+//
+// Splits mimic the originals: every entity and relation that occurs in
+// valid/test also occurs in train.
+#pragma once
+
+#include <cstdint>
+
+#include "kge/dataset.hpp"
+
+namespace dynkge::kge {
+
+struct SyntheticSpec {
+  std::int32_t num_entities = 2000;
+  std::int32_t num_relations = 160;
+  std::size_t num_triples = 40000;  ///< target total facts (pre-dedup cap)
+
+  int num_latent_types = 16;        ///< hidden entity types
+  double noise_fraction = 0.05;     ///< triples ignoring the type model
+  double entity_exponent = 0.8;     ///< popularity skew within a type
+  double relation_exponent = 1.05;  ///< Zipf exponent over relations
+
+  double valid_fraction = 0.02;
+  double test_fraction = 0.02;
+
+  std::uint64_t seed = 1;
+
+  /// Default experiment scale standing in for FB15K (14951 entities, 1345
+  /// relations, ~600K triples): same shape, ~15x smaller.
+  static SyntheticSpec fb15k_mini();
+  /// Paper-sized FB15K-like graph (use --scale full in the benches).
+  static SyntheticSpec fb15k_full();
+  /// Default experiment scale standing in for FB250K (240K entities, 9280
+  /// relations, ~16M facts): same shape, ~80x smaller.
+  static SyntheticSpec fb250k_mini();
+  /// Paper-sized FB250K-like graph. Heavy: ~16M triples.
+  static SyntheticSpec fb250k_full();
+};
+
+/// Deterministically generate a dataset from the spec (same spec + seed ->
+/// identical dataset, independent of platform).
+Dataset generate_synthetic(const SyntheticSpec& spec);
+
+}  // namespace dynkge::kge

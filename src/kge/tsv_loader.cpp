@@ -1,0 +1,143 @@
+#include "kge/tsv_loader.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dynkge::kge {
+namespace {
+
+std::int32_t read_count_file_header(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::int32_t count = 0;
+  if (!(in >> count) || count < 0) {
+    throw std::runtime_error("malformed count header in " + path);
+  }
+  return count;
+}
+
+TripleList load_openke_split(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::size_t count = 0;
+  if (!(in >> count)) {
+    throw std::runtime_error("malformed count header in " + path);
+  }
+  TripleList triples;
+  triples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Triple t{};
+    // OpenKE order is head tail relation.
+    if (!(in >> t.head >> t.tail >> t.relation)) {
+      throw std::runtime_error("truncated triple file " + path);
+    }
+    triples.push_back(t);
+  }
+  return triples;
+}
+
+}  // namespace
+
+Dataset load_openke(const std::string& dir) {
+  const std::int32_t num_entities =
+      read_count_file_header(dir + "/entity2id.txt");
+  const std::int32_t num_relations =
+      read_count_file_header(dir + "/relation2id.txt");
+  TripleList train = load_openke_split(dir + "/train2id.txt");
+  TripleList valid = load_openke_split(dir + "/valid2id.txt");
+  TripleList test = load_openke_split(dir + "/test2id.txt");
+  return Dataset(num_entities, num_relations, std::move(train),
+                 std::move(valid), std::move(test));
+}
+
+Dataset load_tsv(const std::string& dir) {
+  std::unordered_map<std::string, EntityId> entity_ids;
+  std::unordered_map<std::string, RelationId> relation_ids;
+
+  const auto entity_id = [&](const std::string& name) {
+    const auto [it, inserted] =
+        entity_ids.emplace(name, static_cast<EntityId>(entity_ids.size()));
+    (void)inserted;
+    return it->second;
+  };
+  const auto relation_id = [&](const std::string& name) {
+    const auto [it, inserted] = relation_ids.emplace(
+        name, static_cast<RelationId>(relation_ids.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  const auto load_split = [&](const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    TripleList triples;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::istringstream ls(line);
+      std::string h, r, t;
+      if (!std::getline(ls, h, '\t') || !std::getline(ls, r, '\t') ||
+          !std::getline(ls, t, '\t')) {
+        throw std::runtime_error("malformed TSV line in " + path + ": " +
+                                 line);
+      }
+      triples.push_back(Triple{entity_id(h), relation_id(r), entity_id(t)});
+    }
+    return triples;
+  };
+
+  TripleList train = load_split(dir + "/train.txt");
+  TripleList valid = load_split(dir + "/valid.txt");
+  TripleList test = load_split(dir + "/test.txt");
+  return Dataset(static_cast<std::int32_t>(entity_ids.size()),
+                 static_cast<std::int32_t>(relation_ids.size()),
+                 std::move(train), std::move(valid), std::move(test));
+}
+
+Dataset load_dataset(const std::string& dir) {
+  if (std::filesystem::exists(dir + "/train2id.txt")) return load_openke(dir);
+  if (std::filesystem::exists(dir + "/train.txt")) return load_tsv(dir);
+  throw std::runtime_error("no recognizable dataset files under " + dir);
+}
+
+void save_openke(const Dataset& dataset, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const auto open = [&](const std::string& name) {
+    std::ofstream out(dir + "/" + name, std::ios::trunc);
+    if (!out) throw std::runtime_error("save_openke: cannot open " + name);
+    return out;
+  };
+
+  {
+    auto out = open("entity2id.txt");
+    out << dataset.num_entities() << "\n";
+    for (std::int32_t e = 0; e < dataset.num_entities(); ++e) {
+      out << "e" << e << "\t" << e << "\n";
+    }
+  }
+  {
+    auto out = open("relation2id.txt");
+    out << dataset.num_relations() << "\n";
+    for (std::int32_t r = 0; r < dataset.num_relations(); ++r) {
+      out << "r" << r << "\t" << r << "\n";
+    }
+  }
+  const auto write_split = [&](const std::string& name,
+                               std::span<const Triple> triples) {
+    auto out = open(name);
+    out << triples.size() << "\n";
+    // OpenKE triple order is head tail relation.
+    for (const Triple& t : triples) {
+      out << t.head << " " << t.tail << " " << t.relation << "\n";
+    }
+    if (!out) throw std::runtime_error("save_openke: write failed " + name);
+  };
+  write_split("train2id.txt", dataset.train());
+  write_split("valid2id.txt", dataset.valid());
+  write_split("test2id.txt", dataset.test());
+}
+
+}  // namespace dynkge::kge

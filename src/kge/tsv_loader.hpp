@@ -1,0 +1,40 @@
+// Loaders for on-disk knowledge-graph datasets.
+//
+// Two formats are supported:
+//
+//  * OpenKE layout (what the paper's evaluation pipeline consumes):
+//    train2id.txt / valid2id.txt / test2id.txt, each starting with a count
+//    line followed by `head tail relation` integer lines, plus
+//    entity2id.txt / relation2id.txt whose first line is the vocabulary
+//    size.
+//
+//  * Plain TSV: one `head<TAB>relation<TAB>tail` string triple per line in
+//    train.txt / valid.txt / test.txt; vocabularies are built on the fly.
+//
+// If the real FB15K/FB250K files are placed under a directory, the bench
+// harness can run on them via --data <dir>; otherwise it falls back to the
+// synthetic generator (see synthetic.hpp).
+#pragma once
+
+#include <string>
+
+#include "kge/dataset.hpp"
+
+namespace dynkge::kge {
+
+/// Load an OpenKE-format dataset from `dir`. Throws std::runtime_error on
+/// missing files or malformed content.
+Dataset load_openke(const std::string& dir);
+
+/// Load a plain TSV dataset (train.txt/valid.txt/test.txt) from `dir`.
+Dataset load_tsv(const std::string& dir);
+
+/// Try OpenKE first, then TSV.
+Dataset load_dataset(const std::string& dir);
+
+/// Write `dataset` to `dir` in the OpenKE layout (entity2id.txt,
+/// relation2id.txt, {train,valid,test}2id.txt). Entities and relations get
+/// synthetic names ("e<i>", "r<i>"). Creates the directory if needed.
+void save_openke(const Dataset& dataset, const std::string& dir);
+
+}  // namespace dynkge::kge

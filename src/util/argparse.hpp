@@ -1,0 +1,45 @@
+// Minimal command-line flag parser for the bench harness and examples.
+//
+// Usage:
+//   util::ArgParser args(argc, argv);
+//   const int nodes = args.get_int("nodes", 4);
+//   const std::string scale = args.get_string("scale", "mini");
+//   if (args.has_flag("help")) { ... }
+//
+// Flags are written as `--name value` or `--name=value`; boolean flags as
+// bare `--name`. Unknown positional arguments are rejected so typos fail
+// loudly instead of silently running the default experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dynkge::util {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// True if --name appeared (with or without a value).
+  bool has_flag(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated list of integers, e.g. --nodes 1,2,4,8.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& name, const std::vector<std::int64_t>& fallback) const;
+
+  const std::string& program_name() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dynkge::util

@@ -1,0 +1,151 @@
+// Minimal streaming JSON writer — enough to export training reports and
+// experiment results for downstream plotting, with proper string escaping
+// and locale-independent number formatting. No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dynkge::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    prefix();
+    out_ << '{';
+    stack_.push_back(State::kFirstInObject);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ << '}';
+    stack_.pop_back();
+    mark_value_written();
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    prefix();
+    out_ << '[';
+    stack_.push_back(State::kFirstInArray);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ << ']';
+    stack_.pop_back();
+    mark_value_written();
+    return *this;
+  }
+
+  /// Write the key of the next value (object context only).
+  JsonWriter& key(const std::string& name) {
+    prefix();
+    write_string(name);
+    out_ << ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& text) {
+    prefix();
+    write_string(text);
+    mark_value_written();
+    return *this;
+  }
+  JsonWriter& value(const char* text) { return value(std::string(text)); }
+  JsonWriter& value(bool flag) {
+    prefix();
+    out_ << (flag ? "true" : "false");
+    mark_value_written();
+    return *this;
+  }
+  JsonWriter& value(double number) {
+    prefix();
+    // Shortest round-trip-safe representation.
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+    out_ << buffer;
+    mark_value_written();
+    return *this;
+  }
+  JsonWriter& value(std::int64_t number) {
+    prefix();
+    out_ << number;
+    mark_value_written();
+    return *this;
+  }
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(std::size_t number) {
+    return value(static_cast<std::int64_t>(number));
+  }
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& kv(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  enum class State { kFirstInObject, kInObject, kFirstInArray, kInArray };
+
+  void prefix() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;  // value immediately follows its key, no comma
+    }
+    if (stack_.empty()) return;
+    State& state = stack_.back();
+    if (state == State::kInObject || state == State::kInArray) {
+      out_ << ',';
+    }
+  }
+
+  void mark_value_written() {
+    if (stack_.empty()) return;
+    State& state = stack_.back();
+    if (state == State::kFirstInObject) state = State::kInObject;
+    if (state == State::kFirstInArray) state = State::kInArray;
+  }
+
+  void write_string(const std::string& text) {
+    out_ << '"';
+    for (const char c : text) {
+      switch (c) {
+        case '"':
+          out_ << "\\\"";
+          break;
+        case '\\':
+          out_ << "\\\\";
+          break;
+        case '\n':
+          out_ << "\\n";
+          break;
+        case '\r':
+          out_ << "\\r";
+          break;
+        case '\t':
+          out_ << "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out_ << buffer;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream out_;
+  std::vector<State> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace dynkge::util

@@ -1,0 +1,43 @@
+// Tiny leveled logger. Thread safe (one mutex around the stream) because the
+// simulated cluster logs from many rank threads at once.
+//
+// The level is read once from the DYNKGE_LOG environment variable
+// (error|warn|info|debug); the default is `info`.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dynkge::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// The process-wide minimum level that will be printed.
+LogLevel log_level();
+
+/// Override the level programmatically (tests silence logging with this).
+void set_log_level(LogLevel level);
+
+/// Emit one line at the given level. Prefer the DYNKGE_LOG_* macros below.
+void log_line(LogLevel level, const std::string& message);
+
+}  // namespace dynkge::util
+
+#define DYNKGE_LOG_AT(level, expr)                                     \
+  do {                                                                 \
+    if (static_cast<int>(level) <=                                     \
+        static_cast<int>(::dynkge::util::log_level())) {               \
+      std::ostringstream dynkge_log_oss;                               \
+      dynkge_log_oss << expr;                                          \
+      ::dynkge::util::log_line(level, dynkge_log_oss.str());           \
+    }                                                                  \
+  } while (0)
+
+#define DYNKGE_LOG_ERROR(expr) \
+  DYNKGE_LOG_AT(::dynkge::util::LogLevel::kError, expr)
+#define DYNKGE_LOG_WARN(expr) \
+  DYNKGE_LOG_AT(::dynkge::util::LogLevel::kWarn, expr)
+#define DYNKGE_LOG_INFO(expr) \
+  DYNKGE_LOG_AT(::dynkge::util::LogLevel::kInfo, expr)
+#define DYNKGE_LOG_DEBUG(expr) \
+  DYNKGE_LOG_AT(::dynkge::util::LogLevel::kDebug, expr)

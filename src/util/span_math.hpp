@@ -1,0 +1,99 @@
+// Small dense-vector kernels used throughout the KGE models and optimizers.
+//
+// These are deliberately plain loops: the vectors involved are embedding
+// rows (tens to hundreds of floats), where the compiler's auto-vectorizer
+// does as well as hand-tuned intrinsics and the code stays portable.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace dynkge::util {
+
+/// sum_i x[i] * y[i]
+inline double dot(std::span<const float> x, std::span<const float> y) noexcept {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return acc;
+}
+
+/// y += a * x
+inline void axpy(float a, std::span<const float> x, std::span<float> y) noexcept {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+/// x *= a
+inline void scale(float a, std::span<float> x) noexcept {
+  for (auto& v : x) v *= a;
+}
+
+/// Euclidean norm.
+inline double nrm2(std::span<const float> x) noexcept {
+  double acc = 0.0;
+  for (const float v : x) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+/// Squared Euclidean norm (avoids the sqrt when comparing magnitudes).
+inline double nrm2_squared(std::span<const float> x) noexcept {
+  double acc = 0.0;
+  for (const float v : x) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+/// L1 norm.
+inline double asum(std::span<const float> x) noexcept {
+  double acc = 0.0;
+  for (const float v : x) acc += std::fabs(v);
+  return acc;
+}
+
+/// max_i |x[i]|; 0 for an empty span.
+inline float amax(std::span<const float> x) noexcept {
+  float m = 0.0f;
+  for (const float v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+/// mean_i |x[i]|; 0 for an empty span.
+inline float amean(std::span<const float> x) noexcept {
+  if (x.empty()) return 0.0f;
+  return static_cast<float>(asum(x) / static_cast<double>(x.size()));
+}
+
+/// y = x (sizes must match).
+inline void copy(std::span<const float> x, std::span<float> y) noexcept {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+}
+
+/// x = 0
+inline void set_zero(std::span<float> x) noexcept {
+  for (auto& v : x) v = 0.0f;
+}
+
+/// Numerically stable log(1 + exp(z)) (softplus).
+inline double softplus(double z) noexcept {
+  if (z > 30.0) return z;
+  if (z < -30.0) return std::exp(z);
+  return std::log1p(std::exp(z));
+}
+
+/// Logistic sigmoid 1 / (1 + exp(-z)) without overflow.
+inline double sigmoid(double z) noexcept {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace dynkge::util

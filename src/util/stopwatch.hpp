@@ -1,0 +1,25 @@
+// Simple wall-clock stopwatch for coarse host-side timing (harness overhead,
+// end-to-end run duration). Rank-level timing uses thread_clock.hpp instead.
+#pragma once
+
+#include <chrono>
+
+namespace dynkge::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dynkge::util

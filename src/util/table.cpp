@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace dynkge::util {
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  return add(format_double(value, precision));
+}
+
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::size_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out << "  " << cell << std::string(widths[c] - cell.size(), ' ');
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::print(std::ostream& os, const std::string& caption) const {
+  os << caption << '\n' << to_text() << '\n';
+}
+
+}  // namespace dynkge::util

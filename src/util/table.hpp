@@ -1,0 +1,47 @@
+// Paper-style table rendering for the bench harness.
+//
+// Each experiment binary prints the rows of the table/figure it reproduces
+// in an aligned text table (and optionally CSV for plotting). Cells are
+// strings; numeric helpers format with a fixed precision so the output is
+// diffable across runs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dynkge::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent add_* calls append cells to it.
+  Table& begin_row();
+  Table& add(std::string cell);
+  Table& add(double value, int precision = 3);
+  Table& add(std::int64_t value);
+  Table& add(std::size_t value);
+  Table& add(int value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render as an aligned text table with a rule under the header.
+  std::string to_text() const;
+
+  /// Render as CSV (header row first).
+  std::string to_csv() const;
+
+  /// Convenience: print to_text() to the stream with a caption line.
+  void print(std::ostream& os, const std::string& caption) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared with log output).
+std::string format_double(double value, int precision);
+
+}  // namespace dynkge::util

@@ -1,0 +1,37 @@
+// Per-thread CPU time measurement.
+//
+// The simulated cluster runs P ranks as threads on however many physical
+// cores the host happens to have. Wall-clock time would conflate ranks
+// timesharing a core with genuine work, so compute segments are measured
+// with CLOCK_THREAD_CPUTIME_ID: the CPU time consumed by *this* thread,
+// immune to preemption by sibling ranks.
+#pragma once
+
+#include <ctime>
+
+namespace dynkge::util {
+
+/// CPU seconds consumed by the calling thread since it started.
+inline double thread_cpu_seconds() noexcept {
+  timespec ts{};
+  ::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Scoped accumulator: adds the thread-CPU time of its lifetime to a sink.
+class ThreadCpuTimer {
+ public:
+  explicit ThreadCpuTimer(double& sink) noexcept
+      : sink_(sink), start_(thread_cpu_seconds()) {}
+  ~ThreadCpuTimer() { sink_ += thread_cpu_seconds() - start_; }
+
+  ThreadCpuTimer(const ThreadCpuTimer&) = delete;
+  ThreadCpuTimer& operator=(const ThreadCpuTimer&) = delete;
+
+ private:
+  double& sink_;
+  double start_;
+};
+
+}  // namespace dynkge::util

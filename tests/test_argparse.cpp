@@ -1,0 +1,80 @@
+#include "util/argparse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynkge::util {
+namespace {
+
+ArgParser make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, Defaults) {
+  const auto args = make({});
+  EXPECT_EQ(args.get_int("nodes", 4), 4);
+  EXPECT_EQ(args.get_string("scale", "mini"), "mini");
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0.001), 0.001);
+  EXPECT_FALSE(args.has_flag("verbose"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  const auto args = make({"--nodes", "8", "--scale", "full"});
+  EXPECT_EQ(args.get_int("nodes", 0), 8);
+  EXPECT_EQ(args.get_string("scale", ""), "full");
+}
+
+TEST(ArgParser, EqualsSeparatedValues) {
+  const auto args = make({"--nodes=16", "--lr=0.01"});
+  EXPECT_EQ(args.get_int("nodes", 0), 16);
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0.0), 0.01);
+}
+
+TEST(ArgParser, BareFlags) {
+  const auto args = make({"--verbose", "--nodes", "2"});
+  EXPECT_TRUE(args.has_flag("verbose"));
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("nodes", 0), 2);
+}
+
+TEST(ArgParser, BareFlagAtEnd) {
+  const auto args = make({"--nodes", "2", "--csv"});
+  EXPECT_TRUE(args.has_flag("csv"));
+  EXPECT_EQ(args.get_int("nodes", 0), 2);
+}
+
+TEST(ArgParser, BoolValues) {
+  const auto args = make({"--a=true", "--b=false", "--c=1", "--d=off"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+TEST(ArgParser, IntList) {
+  const auto args = make({"--nodes", "1,2,4,8,16"});
+  const auto list = args.get_int_list("nodes", {});
+  ASSERT_EQ(list.size(), 5u);
+  EXPECT_EQ(list[0], 1);
+  EXPECT_EQ(list[4], 16);
+}
+
+TEST(ArgParser, IntListFallback) {
+  const auto args = make({});
+  const auto list = args.get_int_list("nodes", {1, 2});
+  ASSERT_EQ(list.size(), 2u);
+}
+
+TEST(ArgParser, RejectsPositional) {
+  EXPECT_THROW(make({"oops"}), std::invalid_argument);
+}
+
+TEST(ArgParser, NegativeNumbersAsValues) {
+  // A negative numeric value must not be mistaken for a flag.
+  const auto args = make({"--offset", "-3"});
+  EXPECT_EQ(args.get_int("offset", 0), -3);
+}
+
+}  // namespace
+}  // namespace dynkge::util

@@ -1,0 +1,118 @@
+#include "core/comm_selector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynkge::core {
+namespace {
+
+TEST(CommModeSelector, StaticAllReduceNeverGathers) {
+  CommModeSelector selector(CommMode::kAllReduce, 10);
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    EXPECT_FALSE(selector.use_allgather(epoch));
+    selector.record_epoch(epoch, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(selector.allreduce_fraction(), 1.0);
+}
+
+TEST(CommModeSelector, StaticAllGatherAlwaysGathers) {
+  CommModeSelector selector(CommMode::kAllGather, 10);
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    EXPECT_TRUE(selector.use_allgather(epoch));
+    selector.record_epoch(epoch, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(selector.allreduce_fraction(), 0.0);
+}
+
+TEST(CommModeSelector, DynamicStartsWithAllReduce) {
+  CommModeSelector selector(CommMode::kDynamic, 10);
+  EXPECT_FALSE(selector.use_allgather(0));
+  for (int epoch = 1; epoch < 10; ++epoch) {
+    EXPECT_FALSE(selector.use_allgather(epoch)) << "epoch " << epoch;
+  }
+}
+
+TEST(CommModeSelector, DynamicProbesEveryKthEpoch) {
+  CommModeSelector selector(CommMode::kDynamic, 10);
+  EXPECT_TRUE(selector.use_allgather(10));
+  EXPECT_TRUE(selector.use_allgather(20));
+  EXPECT_FALSE(selector.use_allgather(11));
+}
+
+TEST(CommModeSelector, SwitchesWhenProbeIsFaster) {
+  CommModeSelector selector(CommMode::kDynamic, 5);
+  // Epochs 0-4: all-reduce at 1.0s.
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    EXPECT_FALSE(selector.use_allgather(epoch));
+    selector.record_epoch(epoch, 1.0);
+  }
+  // Probe at epoch 5 comes back faster -> permanent switch.
+  EXPECT_TRUE(selector.use_allgather(5));
+  selector.record_epoch(5, 0.4);
+  EXPECT_TRUE(selector.switched_to_allgather());
+  for (int epoch = 6; epoch < 30; ++epoch) {
+    EXPECT_TRUE(selector.use_allgather(epoch));
+    selector.record_epoch(epoch, 0.4);
+  }
+}
+
+TEST(CommModeSelector, StaysOnAllReduceWhenProbeIsSlower) {
+  CommModeSelector selector(CommMode::kDynamic, 5);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    selector.record_epoch(epoch, 1.0);
+  }
+  selector.record_epoch(5, 2.0);  // probe slower
+  EXPECT_FALSE(selector.switched_to_allgather());
+  EXPECT_FALSE(selector.use_allgather(6));
+  // It keeps probing: a later faster probe still switches.
+  for (int epoch = 6; epoch < 10; ++epoch) selector.record_epoch(epoch, 1.0);
+  EXPECT_TRUE(selector.use_allgather(10));
+  selector.record_epoch(10, 0.5);
+  EXPECT_TRUE(selector.switched_to_allgather());
+}
+
+TEST(CommModeSelector, AllReduceFractionDropsAfterSwitch) {
+  // The paper observes ~60% fewer all-reduce epochs once quantization
+  // shrinks the gather volume; the fraction statistic captures that.
+  CommModeSelector selector(CommMode::kDynamic, 10);
+  for (int epoch = 0; epoch < 10; ++epoch) selector.record_epoch(epoch, 1.0);
+  selector.record_epoch(10, 0.1);  // switch here
+  for (int epoch = 11; epoch < 40; ++epoch) {
+    selector.record_epoch(epoch, 0.1);
+  }
+  EXPECT_NEAR(selector.allreduce_fraction(), 10.0 / 40.0, 1e-9);
+}
+
+TEST(CommModeSelector, ParameterServerIsStatic) {
+  CommModeSelector selector(CommMode::kParameterServer, 10);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    EXPECT_EQ(selector.transport_for(epoch), Transport::kParameterServer);
+    EXPECT_FALSE(selector.use_allgather(epoch));
+    selector.record_epoch(epoch, 1.0);
+  }
+  // PS epochs are not all-reduce epochs.
+  EXPECT_DOUBLE_EQ(selector.allreduce_fraction(), 0.0);
+}
+
+TEST(CommModeSelector, TransportForMatchesUseAllGather) {
+  CommModeSelector selector(CommMode::kDynamic, 5);
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    EXPECT_EQ(selector.use_allgather(epoch),
+              selector.transport_for(epoch) == Transport::kAllGather);
+    selector.record_epoch(epoch, 1.0);
+  }
+}
+
+TEST(CommModeSelector, EmptyHistoryFraction) {
+  const CommModeSelector selector(CommMode::kDynamic, 10);
+  EXPECT_DOUBLE_EQ(selector.allreduce_fraction(), 0.0);
+}
+
+TEST(CommModeSelector, RejectsBadProbeInterval) {
+  EXPECT_THROW(CommModeSelector(CommMode::kDynamic, 0),
+               std::invalid_argument);
+  // Static modes ignore the interval entirely.
+  EXPECT_NO_THROW(CommModeSelector(CommMode::kAllReduce, 0));
+}
+
+}  // namespace
+}  // namespace dynkge::core

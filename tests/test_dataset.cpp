@@ -1,0 +1,86 @@
+#include "kge/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kge/triple.hpp"
+
+namespace dynkge::kge {
+namespace {
+
+TEST(PackTriple, RoundTripDistinct) {
+  const auto a = pack_triple(1, 2, 3);
+  const auto b = pack_triple(3, 2, 1);
+  const auto c = pack_triple(1, 3, 2);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(PackTriple, LargeIdsStayDistinct) {
+  const auto a = pack_triple(240000, 9279, 239999);
+  const auto b = pack_triple(240000, 9279, 239998);
+  const auto c = pack_triple(239999, 9279, 240000);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(TripleEquality, DefaultComparison) {
+  const Triple a{1, 2, 3};
+  const Triple b{1, 2, 3};
+  const Triple c{1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(TripleHash, ConsistentWithEquality) {
+  const TripleHash hash;
+  EXPECT_EQ(hash(Triple{1, 2, 3}), hash(Triple{1, 2, 3}));
+}
+
+TEST(Dataset, BasicAccessors) {
+  const Dataset ds(10, 3, {{0, 0, 1}, {1, 1, 2}}, {{2, 2, 3}}, {{3, 0, 4}});
+  EXPECT_EQ(ds.num_entities(), 10);
+  EXPECT_EQ(ds.num_relations(), 3);
+  EXPECT_EQ(ds.train().size(), 2u);
+  EXPECT_EQ(ds.valid().size(), 1u);
+  EXPECT_EQ(ds.test().size(), 1u);
+  EXPECT_EQ(ds.num_facts(), 4u);
+}
+
+TEST(Dataset, ContainsSeesAllSplits) {
+  const Dataset ds(10, 3, {{0, 0, 1}}, {{2, 2, 3}}, {{3, 0, 4}});
+  EXPECT_TRUE(ds.contains(0, 0, 1));   // train
+  EXPECT_TRUE(ds.contains(2, 2, 3));   // valid
+  EXPECT_TRUE(ds.contains(3, 0, 4));   // test
+  EXPECT_FALSE(ds.contains(0, 0, 2));
+  EXPECT_FALSE(ds.contains(Triple{1, 0, 0}));
+}
+
+TEST(Dataset, RejectsOutOfRangeEntity) {
+  EXPECT_THROW(Dataset(2, 1, {{0, 0, 5}}, {}, {}), std::invalid_argument);
+  EXPECT_THROW(Dataset(2, 1, {{-1, 0, 0}}, {}, {}), std::invalid_argument);
+}
+
+TEST(Dataset, RejectsOutOfRangeRelation) {
+  EXPECT_THROW(Dataset(2, 1, {}, {{0, 1, 1}}, {}), std::invalid_argument);
+}
+
+TEST(Dataset, RejectsEmptyVocabulary) {
+  EXPECT_THROW(Dataset(0, 1, {}, {}, {}), std::invalid_argument);
+  EXPECT_THROW(Dataset(1, 0, {}, {}, {}), std::invalid_argument);
+}
+
+TEST(Dataset, RejectsIdsBeyondPacking) {
+  EXPECT_THROW(Dataset(1 << 21, 1, {}, {}, {}), std::invalid_argument);
+}
+
+TEST(Dataset, SummaryMentionsCounts) {
+  const Dataset ds(10, 3, {{0, 0, 1}}, {}, {});
+  const std::string s = ds.summary("demo");
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("10 entities"), std::string::npos);
+  EXPECT_NE(s.find("3 relations"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynkge::kge

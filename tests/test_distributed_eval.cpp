@@ -1,0 +1,101 @@
+#include "core/distributed_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kge/complex_model.hpp"
+#include "kge/synthetic.hpp"
+
+namespace dynkge::core {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : dataset(kge::generate_synthetic([] {
+          kge::SyntheticSpec spec;
+          spec.num_entities = 250;
+          spec.num_relations = 16;
+          spec.num_triples = 3000;
+          spec.num_latent_types = 4;
+          spec.seed = 55;
+          return spec;
+        }())),
+        model(dataset.num_entities(), dataset.num_relations(), 8) {
+    util::Rng rng(7);
+    model.init(rng);
+  }
+
+  kge::Dataset dataset;
+  kge::ComplExModel model;
+};
+
+class DistributedEvalP : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, DistributedEvalP,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST_P(DistributedEvalP, MatchesSequentialExactly) {
+  Fixture f;
+  const kge::Evaluator evaluator(f.dataset);
+  const auto sequential = evaluator.link_prediction(f.model, f.dataset.test());
+  const auto distributed = distributed_link_prediction(
+      f.model, f.dataset, f.dataset.test(), GetParam());
+  EXPECT_EQ(distributed.metrics.evaluated, sequential.evaluated);
+  EXPECT_NEAR(distributed.metrics.mrr, sequential.mrr, 1e-12);
+  EXPECT_NEAR(distributed.metrics.mean_rank, sequential.mean_rank, 1e-9);
+  EXPECT_NEAR(distributed.metrics.hits1, sequential.hits1, 1e-12);
+  EXPECT_NEAR(distributed.metrics.hits10, sequential.hits10, 1e-12);
+  EXPECT_NEAR(distributed.metrics.mrr_head_side, sequential.mrr_head_side,
+              1e-12);
+  EXPECT_NEAR(distributed.metrics.mrr_tail_side, sequential.mrr_tail_side,
+              1e-12);
+}
+
+TEST_P(DistributedEvalP, SubsampleMatchesSequential) {
+  Fixture f;
+  kge::EvalOptions options;
+  options.max_triples = 13;
+  const kge::Evaluator evaluator(f.dataset);
+  const auto sequential =
+      evaluator.link_prediction(f.model, f.dataset.test(), options);
+  const auto distributed = distributed_link_prediction(
+      f.model, f.dataset, f.dataset.test(), GetParam(), options);
+  EXPECT_EQ(distributed.metrics.evaluated, sequential.evaluated);
+  EXPECT_NEAR(distributed.metrics.mrr, sequential.mrr, 1e-12);
+}
+
+TEST(DistributedEval, SimTimeShrinksWithRanks) {
+  Fixture f;
+  const auto one =
+      distributed_link_prediction(f.model, f.dataset, f.dataset.test(), 1);
+  const auto four =
+      distributed_link_prediction(f.model, f.dataset, f.dataset.test(), 4);
+  EXPECT_GT(one.sim_seconds, 0.0);
+  EXPECT_LT(four.sim_seconds, one.sim_seconds);
+}
+
+TEST(DistributedEval, RejectsBadRankCount) {
+  Fixture f;
+  EXPECT_THROW(
+      distributed_link_prediction(f.model, f.dataset, f.dataset.test(), 0),
+      std::invalid_argument);
+}
+
+TEST(DistributedEval, EmptyTriples) {
+  Fixture f;
+  const auto result =
+      distributed_link_prediction(f.model, f.dataset, {}, 4);
+  EXPECT_EQ(result.metrics.evaluated, 0u);
+  EXPECT_DOUBLE_EQ(result.metrics.mrr, 0.0);
+}
+
+TEST(DistributedEval, MoreRanksThanTriples) {
+  Fixture f;
+  const auto shard = f.dataset.test().subspan(0, 3);
+  const auto result = distributed_link_prediction(f.model, f.dataset, shard, 8);
+  const kge::Evaluator evaluator(f.dataset);
+  const auto sequential = evaluator.link_prediction(f.model, shard);
+  EXPECT_EQ(result.metrics.evaluated, sequential.evaluated);
+  EXPECT_NEAR(result.metrics.mrr, sequential.mrr, 1e-12);
+}
+
+}  // namespace
+}  // namespace dynkge::core

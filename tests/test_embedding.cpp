@@ -1,0 +1,143 @@
+#include "kge/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynkge::kge {
+namespace {
+
+TEST(EmbeddingMatrix, ShapeAndZeroInit) {
+  EmbeddingMatrix m(5, 4);
+  EXPECT_EQ(m.rows(), 5);
+  EXPECT_EQ(m.width(), 4);
+  EXPECT_EQ(m.size_bytes(), 5u * 4u * sizeof(float));
+  for (int r = 0; r < 5; ++r) {
+    for (const float v : m.row(r)) EXPECT_FLOAT_EQ(v, 0.0f);
+  }
+}
+
+TEST(EmbeddingMatrix, RowsAreDisjoint) {
+  EmbeddingMatrix m(3, 2);
+  m.row(1)[0] = 7.0f;
+  EXPECT_FLOAT_EQ(m.row(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(m.row(1)[0], 7.0f);
+  EXPECT_FLOAT_EQ(m.row(2)[0], 0.0f);
+}
+
+TEST(EmbeddingMatrix, RejectsBadShape) {
+  EXPECT_THROW(EmbeddingMatrix(0, 4), std::invalid_argument);
+  EXPECT_THROW(EmbeddingMatrix(4, 0), std::invalid_argument);
+}
+
+TEST(EmbeddingMatrix, UniformInitWithinBounds) {
+  EmbeddingMatrix m(10, 8);
+  util::Rng rng(1);
+  m.init_uniform(rng, 0.5f);
+  bool any_nonzero = false;
+  for (const float v : m.flat()) {
+    EXPECT_GE(v, -0.5f);
+    EXPECT_LE(v, 0.5f);
+    any_nonzero |= (v != 0.0f);
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(EmbeddingMatrix, NormalInitIsDeterministic) {
+  EmbeddingMatrix a(4, 4), b(4, 4);
+  util::Rng ra(9), rb(9);
+  a.init_normal(ra, 1.0f);
+  b.init_normal(rb, 1.0f);
+  for (std::size_t i = 0; i < a.flat().size(); ++i) {
+    EXPECT_FLOAT_EQ(a.flat()[i], b.flat()[i]);
+  }
+}
+
+TEST(SparseGrad, CreatesRowsZeroFilled) {
+  SparseGrad g(3);
+  EXPECT_TRUE(g.empty());
+  auto row = g.accumulate(7);
+  EXPECT_EQ(row.size(), 3u);
+  for (const float v : row) EXPECT_FLOAT_EQ(v, 0.0f);
+  EXPECT_EQ(g.num_rows(), 1u);
+  EXPECT_TRUE(g.has(7));
+  EXPECT_FALSE(g.has(8));
+}
+
+TEST(SparseGrad, AccumulateReturnsSameRow) {
+  SparseGrad g(2);
+  g.accumulate(3)[0] = 1.0f;
+  g.accumulate(3)[0] += 2.0f;
+  EXPECT_FLOAT_EQ(g.row(3)[0], 3.0f);
+  EXPECT_EQ(g.num_rows(), 1u);
+}
+
+TEST(SparseGrad, SortedIdsAscending) {
+  SparseGrad g(1);
+  for (const int id : {42, 7, 100, 3}) g.accumulate(id);
+  const auto& ids = g.sorted_ids();
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids[0], 3);
+  EXPECT_EQ(ids[1], 7);
+  EXPECT_EQ(ids[2], 42);
+  EXPECT_EQ(ids[3], 100);
+}
+
+TEST(SparseGrad, SortedIdsRefreshAfterNewRows) {
+  SparseGrad g(1);
+  g.accumulate(5);
+  EXPECT_EQ(g.sorted_ids().size(), 1u);
+  g.accumulate(2);
+  const auto& ids = g.sorted_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 2);
+}
+
+TEST(SparseGrad, EraseRemovesRow) {
+  SparseGrad g(2);
+  g.accumulate(1)[0] = 1.0f;
+  g.accumulate(2)[0] = 2.0f;
+  g.erase(1);
+  EXPECT_FALSE(g.has(1));
+  EXPECT_TRUE(g.has(2));
+  EXPECT_EQ(g.num_rows(), 1u);
+  EXPECT_EQ(g.sorted_ids().size(), 1u);
+  EXPECT_THROW(g.row(1), std::out_of_range);
+  g.erase(99);  // erasing an absent row is a no-op
+  EXPECT_EQ(g.num_rows(), 1u);
+}
+
+TEST(SparseGrad, ClearResets) {
+  SparseGrad g(2);
+  g.accumulate(1);
+  g.clear();
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.sorted_ids().size(), 0u);
+  // Reusable after clear.
+  g.accumulate(9)[1] = 4.0f;
+  EXPECT_FLOAT_EQ(g.row(9)[1], 4.0f);
+}
+
+TEST(SparseGrad, ManyRowsSurviveArenaGrowth) {
+  SparseGrad g(8);
+  for (int id = 0; id < 500; ++id) {
+    auto row = g.accumulate(id);
+    row[0] = static_cast<float>(id);
+  }
+  for (int id = 0; id < 500; ++id) {
+    EXPECT_FLOAT_EQ(g.row(id)[0], static_cast<float>(id));
+  }
+}
+
+TEST(SparseGrad, RejectsBadWidth) {
+  EXPECT_THROW(SparseGrad(0), std::invalid_argument);
+  EXPECT_THROW(SparseGrad(-3), std::invalid_argument);
+}
+
+TEST(SparseGrad, RowThrowsForMissing) {
+  SparseGrad g(2);
+  EXPECT_THROW(g.row(5), std::out_of_range);
+  const SparseGrad& cg = g;
+  EXPECT_THROW(cg.row(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dynkge::kge

@@ -1,0 +1,333 @@
+#include "core/grad_exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dynkge::core {
+namespace {
+
+constexpr std::int32_t kEntities = 100;
+constexpr std::int32_t kRelations = 20;
+constexpr std::int32_t kWidth = 8;
+
+/// Deterministic per-rank gradient: rank r touches entity rows
+/// {r, r+1, 10} and relation row {r % kRelations}.
+kge::ModelGrads rank_grads(int rank) {
+  kge::ModelGrads grads(kWidth, kWidth);
+  for (const std::int32_t id :
+       {rank, rank + 1, std::int32_t{10}}) {
+    auto row = grads.entity.accumulate(id);
+    for (std::int32_t i = 0; i < kWidth; ++i) {
+      row[i] = static_cast<float>(rank + 1) * 0.125f * (i + 1);
+    }
+  }
+  auto rel = grads.relation.accumulate(rank % kRelations);
+  for (std::int32_t i = 0; i < kWidth; ++i) rel[i] = 1.0f;
+  return grads;
+}
+
+class GradExchangeP : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, GradExchangeP, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(GradExchangeP, AllGatherMergeMatchesManualSum) {
+  const int ranks = GetParam();
+  comm::Cluster cluster(ranks);
+  cluster.run([&](comm::Communicator& comm) {
+    const StrategyConfig strategy = StrategyConfig::baseline_allgather();
+    GradExchange exchange(comm, strategy, kEntities, kWidth, kRelations,
+                          kWidth);
+    kge::ModelGrads local = rank_grads(comm.rank());
+    kge::ModelGrads merged(kWidth, kWidth);
+    ExchangePlan plan;
+    plan.transport = Transport::kAllGather;
+    util::Rng rng(1);
+    exchange.exchange(local, merged, plan, rng);
+
+    // Row 10 is touched by every rank: expected value is the average of
+    // all ranks' contributions.
+    float expected = 0.0f;
+    for (int r = 0; r < ranks; ++r) expected += (r + 1) * 0.125f;
+    expected /= static_cast<float>(ranks);
+    ASSERT_TRUE(merged.entity.has(10));
+    EXPECT_NEAR(merged.entity.row(10)[0], expected, 1e-6);
+
+    // Rank-exclusive rows survive scaled by 1/ranks.
+    if (ranks > 2) {
+      ASSERT_TRUE(merged.entity.has(0));
+      EXPECT_NEAR(merged.entity.row(0)[0], 0.125f / ranks, 1e-6);
+    }
+  });
+}
+
+TEST_P(GradExchangeP, AllReduceAndAllGatherAgreeNumerically) {
+  const int ranks = GetParam();
+  comm::Cluster cluster(ranks);
+  cluster.run([&](comm::Communicator& comm) {
+    const StrategyConfig strategy = StrategyConfig::baseline_allreduce();
+    GradExchange exchange(comm, strategy, kEntities, kWidth, kRelations,
+                          kWidth);
+    util::Rng rng(1);
+
+    kge::ModelGrads local_a = rank_grads(comm.rank());
+    kge::ModelGrads merged_a(kWidth, kWidth);
+    ExchangePlan reduce_plan;
+    reduce_plan.transport = Transport::kAllReduce;
+    exchange.exchange(local_a, merged_a, reduce_plan, rng);
+
+    kge::ModelGrads local_b = rank_grads(comm.rank());
+    kge::ModelGrads merged_b(kWidth, kWidth);
+    ExchangePlan gather_plan;
+    gather_plan.transport = Transport::kAllGather;
+    exchange.exchange(local_b, merged_b, gather_plan, rng);
+
+    ASSERT_EQ(merged_a.entity.sorted_ids(), merged_b.entity.sorted_ids());
+    for (const std::int32_t id : merged_a.entity.sorted_ids()) {
+      const auto a = merged_a.entity.row(id);
+      const auto b = merged_b.entity.row(id);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_FLOAT_EQ(a[i], b[i]);
+      }
+    }
+  });
+}
+
+TEST_P(GradExchangeP, MergedResultIdenticalOnAllRanks) {
+  const int ranks = GetParam();
+  comm::Cluster cluster(ranks);
+  std::vector<std::vector<float>> row10(ranks);
+  cluster.run([&](comm::Communicator& comm) {
+    StrategyConfig strategy = StrategyConfig::rs_1bit();
+    GradExchange exchange(comm, strategy, kEntities, kWidth, kRelations,
+                          kWidth);
+    kge::ModelGrads local = rank_grads(comm.rank());
+    kge::ModelGrads merged(kWidth, kWidth);
+    ExchangePlan plan;
+    plan.transport = Transport::kAllGather;
+    util::Rng rng(comm.rank() + 1);  // rank-distinct randomness
+    exchange.exchange(local, merged, plan, rng);
+    const auto row = merged.entity.row(10);
+    row10[comm.rank()].assign(row.begin(), row.end());
+  });
+  for (int r = 1; r < ranks; ++r) EXPECT_EQ(row10[r], row10[0]);
+}
+
+TEST_P(GradExchangeP, AllReduceChargesDenseCost) {
+  const int ranks = GetParam();
+  if (ranks < 2) GTEST_SKIP();
+  comm::Cluster cluster(ranks);
+  cluster.run([&](comm::Communicator& comm) {
+    const StrategyConfig strategy = StrategyConfig::baseline_allreduce();
+    GradExchange exchange(comm, strategy, kEntities, kWidth, kRelations,
+                          kWidth);
+    kge::ModelGrads local = rank_grads(comm.rank());
+    kge::ModelGrads merged(kWidth, kWidth);
+    ExchangePlan plan;
+    plan.transport = Transport::kAllReduce;
+    util::Rng rng(1);
+    const auto result = exchange.exchange(local, merged, plan, rng);
+
+    // Dense bytes: full entity matrix + full relation matrix.
+    const std::size_t expected =
+        static_cast<std::size_t>(kEntities) * kWidth * sizeof(float) +
+        static_cast<std::size_t>(kRelations) * kWidth * sizeof(float);
+    EXPECT_EQ(result.bytes_on_wire, expected);
+    EXPECT_GT(result.comm_seconds, 0.0);
+    EXPECT_EQ(comm.stats().of(comm::CollectiveKind::kAllReduce).calls, 2u);
+  });
+}
+
+TEST_P(GradExchangeP, QuantizationShrinksGatherBytes) {
+  const int ranks = GetParam();
+  comm::Cluster cluster(ranks);
+  cluster.run([&](comm::Communicator& comm) {
+    util::Rng rng(1);
+    ExchangePlan plan;
+    plan.transport = Transport::kAllGather;
+
+    StrategyConfig raw = StrategyConfig::baseline_allgather();
+    GradExchange raw_exchange(comm, raw, kEntities, kWidth, kRelations,
+                              kWidth);
+    kge::ModelGrads local_a = rank_grads(comm.rank());
+    kge::ModelGrads merged(kWidth, kWidth);
+    const auto raw_result =
+        raw_exchange.exchange(local_a, merged, plan, rng);
+
+    StrategyConfig quant = StrategyConfig::baseline_allgather();
+    quant.quant = QuantMode::kOneBit;
+    GradExchange quant_exchange(comm, quant, kEntities, kWidth, kRelations,
+                                kWidth);
+    kge::ModelGrads local_b = rank_grads(comm.rank());
+    const auto quant_result =
+        quant_exchange.exchange(local_b, merged, plan, rng);
+
+    EXPECT_LT(quant_result.bytes_on_wire, raw_result.bytes_on_wire / 2);
+  });
+}
+
+TEST_P(GradExchangeP, SkippingRelationsMovesFewerBytes) {
+  const int ranks = GetParam();
+  comm::Cluster cluster(ranks);
+  cluster.run([&](comm::Communicator& comm) {
+    const StrategyConfig strategy = StrategyConfig::baseline_allgather();
+    GradExchange exchange(comm, strategy, kEntities, kWidth, kRelations,
+                          kWidth);
+    util::Rng rng(1);
+    ExchangePlan with_relations;
+    with_relations.transport = Transport::kAllGather;
+    with_relations.exchange_relations = true;
+    kge::ModelGrads local_a = rank_grads(comm.rank());
+    kge::ModelGrads merged(kWidth, kWidth);
+    const auto with = exchange.exchange(local_a, merged, with_relations, rng);
+
+    ExchangePlan without;
+    without.transport = Transport::kAllGather;
+    without.exchange_relations = false;
+    kge::ModelGrads local_b = rank_grads(comm.rank());
+    const auto skip = exchange.exchange(local_b, merged, without, rng);
+
+    EXPECT_LT(skip.bytes_on_wire, with.bytes_on_wire);
+    EXPECT_TRUE(merged.relation.empty());
+  });
+}
+
+TEST_P(GradExchangeP, ParameterServerAgreesWithAllReduceNumerically) {
+  // All three transports are different *timings* of the same merge: the
+  // resulting averaged gradient must be bit-identical.
+  const int ranks = GetParam();
+  comm::Cluster cluster(ranks);
+  cluster.run([&](comm::Communicator& comm) {
+    const StrategyConfig strategy =
+        StrategyConfig::baseline_parameter_server();
+    GradExchange exchange(comm, strategy, kEntities, kWidth, kRelations,
+                          kWidth);
+    util::Rng rng(1);
+
+    kge::ModelGrads local_a = rank_grads(comm.rank());
+    kge::ModelGrads merged_a(kWidth, kWidth);
+    ExchangePlan ps_plan;
+    ps_plan.transport = Transport::kParameterServer;
+    exchange.exchange(local_a, merged_a, ps_plan, rng);
+
+    kge::ModelGrads local_b = rank_grads(comm.rank());
+    kge::ModelGrads merged_b(kWidth, kWidth);
+    ExchangePlan reduce_plan;
+    reduce_plan.transport = Transport::kAllReduce;
+    exchange.exchange(local_b, merged_b, reduce_plan, rng);
+
+    ASSERT_EQ(merged_a.entity.sorted_ids(), merged_b.entity.sorted_ids());
+    for (const std::int32_t id : merged_a.entity.sorted_ids()) {
+      const auto a = merged_a.entity.row(id);
+      const auto b = merged_b.entity.row(id);
+      for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+    }
+  });
+}
+
+TEST_P(GradExchangeP, ParameterServerChargesGatherPlusBroadcast) {
+  const int ranks = GetParam();
+  comm::Cluster cluster(ranks);
+  cluster.run([&](comm::Communicator& comm) {
+    const StrategyConfig strategy =
+        StrategyConfig::baseline_parameter_server();
+    GradExchange exchange(comm, strategy, kEntities, kWidth, kRelations,
+                          kWidth);
+    kge::ModelGrads local = rank_grads(comm.rank());
+    kge::ModelGrads merged(kWidth, kWidth);
+    ExchangePlan plan;
+    plan.transport = Transport::kParameterServer;
+    util::Rng rng(1);
+    exchange.exchange(local, merged, plan, rng);
+    // One gatherv + one broadcast per exchanged matrix (entity, relation).
+    EXPECT_EQ(comm.stats().of(comm::CollectiveKind::kGatherV).calls, 2u);
+    EXPECT_EQ(comm.stats().of(comm::CollectiveKind::kBroadcast).calls, 2u);
+    EXPECT_EQ(comm.stats().of(comm::CollectiveKind::kAllReduce).calls, 0u);
+  });
+}
+
+TEST(GradExchange, ParameterServerCostGrowsLinearlyWithRanks) {
+  // The paper's motivation for synchronous collectives: the server link
+  // carries every worker's traffic, so modeled time grows ~linearly in
+  // the number of workers (ring all-reduce saturates instead).
+  const auto ps_time = [](int ranks) {
+    double seconds = 0.0;
+    comm::Cluster cluster(ranks);
+    cluster.run([&](comm::Communicator& comm) {
+      const StrategyConfig strategy =
+          StrategyConfig::baseline_parameter_server();
+      GradExchange exchange(comm, strategy, kEntities, kWidth, kRelations,
+                            kWidth);
+      kge::ModelGrads local = rank_grads(comm.rank());
+      kge::ModelGrads merged(kWidth, kWidth);
+      ExchangePlan plan;
+      plan.transport = Transport::kParameterServer;
+      util::Rng rng(1);
+      const auto result = exchange.exchange(local, merged, plan, rng);
+      if (comm.rank() == 0) seconds = result.comm_seconds;
+    });
+    return seconds;
+  };
+  const double t2 = ps_time(2);
+  const double t8 = ps_time(8);
+  EXPECT_GT(t8, 2.5 * t2);
+}
+
+TEST(GradExchange, ErrorFeedbackCompensatesQuantization) {
+  // With mean-scale 1-bit quantization (a contraction), error feedback
+  // makes the *accumulated* transmitted gradient track the accumulated
+  // true gradient: residuals stay bounded while the no-feedback variant
+  // keeps losing the same per-step error.
+  comm::Cluster cluster(1);
+  cluster.run([&](comm::Communicator& comm) {
+    StrategyConfig strategy = StrategyConfig::baseline_allgather();
+    strategy.quant = QuantMode::kOneBit;
+    strategy.one_bit_scale = OneBitScale::kMean;
+    strategy.error_feedback = true;
+    GradExchange exchange(comm, strategy, kEntities, kWidth, kRelations,
+                          kWidth);
+    util::Rng rng(3);
+
+    // Constant true gradient, many steps.
+    std::vector<double> transmitted(kWidth, 0.0);
+    const int kSteps = 400;
+    for (int step = 0; step < kSteps; ++step) {
+      kge::ModelGrads local(kWidth, kWidth);
+      auto row = local.entity.accumulate(5);
+      for (std::int32_t i = 0; i < kWidth; ++i) {
+        row[i] = 0.01f * static_cast<float>(i + 1);
+      }
+      kge::ModelGrads merged(kWidth, kWidth);
+      ExchangePlan plan;
+      plan.transport = Transport::kAllGather;
+      exchange.exchange(local, merged, plan, rng);
+      const auto out = merged.entity.row(5);
+      for (std::int32_t i = 0; i < kWidth; ++i) transmitted[i] += out[i];
+    }
+    // Accumulated transmission approximates accumulated truth within a
+    // bounded residual (<= one quantization step per component).
+    for (std::int32_t i = 0; i < kWidth; ++i) {
+      const double truth = 0.01 * (i + 1) * kSteps;
+      EXPECT_NEAR(transmitted[i] / truth, 1.0, 0.1) << "component " << i;
+    }
+  });
+}
+
+TEST(GradExchange, EmptyGradientsExchangeCleanly) {
+  comm::Cluster cluster(4);
+  cluster.run([&](comm::Communicator& comm) {
+    const StrategyConfig strategy = StrategyConfig::baseline_allgather();
+    GradExchange exchange(comm, strategy, kEntities, kWidth, kRelations,
+                          kWidth);
+    kge::ModelGrads local(kWidth, kWidth);  // nothing touched
+    kge::ModelGrads merged(kWidth, kWidth);
+    ExchangePlan plan;
+    plan.transport = Transport::kAllGather;
+    util::Rng rng(1);
+    const auto result = exchange.exchange(local, merged, plan, rng);
+    EXPECT_EQ(result.entity_rows_merged, 0u);
+    EXPECT_TRUE(merged.entity.empty());
+  });
+}
+
+}  // namespace
+}  // namespace dynkge::core

@@ -1,0 +1,194 @@
+#include "core/grad_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dynkge::core {
+namespace {
+
+/// Build a gradient with rows of controlled 2-norms.
+kge::SparseGrad make_grad(const std::vector<float>& norms) {
+  kge::SparseGrad grad(4);
+  for (std::size_t i = 0; i < norms.size(); ++i) {
+    auto row = grad.accumulate(static_cast<std::int32_t>(i));
+    row[0] = norms[i];  // one non-zero component -> 2-norm == norms[i]
+  }
+  return grad;
+}
+
+TEST(GradSelect, NoneKeepsEverything) {
+  auto grad = make_grad({1.0f, 2.0f, 3.0f});
+  util::Rng rng(1);
+  const auto stats = select_gradient_rows(grad, SelectionMode::kNone, rng);
+  EXPECT_EQ(stats.rows_before, 3u);
+  EXPECT_EQ(stats.rows_after, 3u);
+  EXPECT_EQ(grad.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(stats.sparsity(), 0.0);
+}
+
+TEST(GradSelect, AverageThresholdDropsWeakRows) {
+  // Norms 1, 1, 10 -> mean 4: only the 10-row survives.
+  auto grad = make_grad({1.0f, 1.0f, 10.0f});
+  util::Rng rng(1);
+  const auto stats =
+      select_gradient_rows(grad, SelectionMode::kAverageThreshold, rng);
+  EXPECT_EQ(stats.rows_after, 1u);
+  EXPECT_TRUE(grad.has(2));
+  EXPECT_FALSE(grad.has(0));
+  EXPECT_FALSE(grad.has(1));
+}
+
+TEST(GradSelect, AverageTenthIsMorePermissive) {
+  // Mean 4, tenth-threshold 0.4: rows with norm 1 survive.
+  auto grad = make_grad({1.0f, 1.0f, 10.0f});
+  util::Rng rng(1);
+  const auto stats =
+      select_gradient_rows(grad, SelectionMode::kAverageTenth, rng);
+  EXPECT_EQ(stats.rows_after, 3u);
+}
+
+TEST(GradSelect, BernoulliAlwaysKeepsAboveAverageRows) {
+  // P(keep) = min(1, norm/mean) == 1 for rows at or above the mean.
+  for (int seed = 0; seed < 20; ++seed) {
+    auto grad = make_grad({1.0f, 1.0f, 10.0f});
+    util::Rng rng(seed);
+    select_gradient_rows(grad, SelectionMode::kBernoulli, rng);
+    EXPECT_TRUE(grad.has(2)) << "seed " << seed;
+  }
+}
+
+TEST(GradSelect, BernoulliKeepRateMatchesNormRatio) {
+  // Row norm 1 with mean 2 -> keep probability 0.5.
+  int kept = 0;
+  constexpr int kTrials = 4000;
+  util::Rng rng(42);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto grad = make_grad({1.0f, 3.0f});  // mean 2
+    select_gradient_rows(grad, SelectionMode::kBernoulli, rng);
+    kept += grad.has(0);
+    EXPECT_TRUE(grad.has(1));  // 3/2 > 1 -> always kept
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / kTrials, 0.5, 0.05);
+}
+
+TEST(GradSelect, UniformNormsSurviveBernoulli) {
+  // All rows at the mean: P(keep) = 1 for every row.
+  auto grad = make_grad({2.0f, 2.0f, 2.0f, 2.0f});
+  util::Rng rng(3);
+  const auto stats =
+      select_gradient_rows(grad, SelectionMode::kBernoulli, rng);
+  EXPECT_EQ(stats.rows_after, 4u);
+}
+
+TEST(GradSelect, EmptyGradientIsNoop) {
+  kge::SparseGrad grad(4);
+  util::Rng rng(1);
+  const auto stats =
+      select_gradient_rows(grad, SelectionMode::kBernoulli, rng);
+  EXPECT_EQ(stats.rows_before, 0u);
+  EXPECT_EQ(stats.rows_after, 0u);
+}
+
+TEST(GradSelect, AllZeroRowsAreKept) {
+  // Zero mean norm: selection cannot rank rows, so nothing is dropped.
+  kge::SparseGrad grad(4);
+  grad.accumulate(0);
+  grad.accumulate(1);
+  util::Rng rng(1);
+  const auto stats =
+      select_gradient_rows(grad, SelectionMode::kBernoulli, rng);
+  EXPECT_EQ(stats.rows_after, 2u);
+}
+
+TEST(GradSelect, SparsityComputation) {
+  SelectionStats stats;
+  stats.rows_before = 10;
+  stats.rows_after = 4;
+  EXPECT_DOUBLE_EQ(stats.sparsity(), 0.6);
+  stats.rows_before = 0;
+  EXPECT_DOUBLE_EQ(stats.sparsity(), 0.0);
+}
+
+TEST(GradSelect, SurvivingValuesUntouched) {
+  auto grad = make_grad({1.0f, 1.0f, 10.0f});
+  util::Rng rng(1);
+  select_gradient_rows(grad, SelectionMode::kAverageThreshold, rng);
+  EXPECT_FLOAT_EQ(grad.row(2)[0], 10.0f);
+}
+
+TEST(GradSelector, WithoutResidualsMatchesFreeFunction) {
+  auto a = make_grad({1.0f, 1.0f, 10.0f});
+  auto b = make_grad({1.0f, 1.0f, 10.0f});
+  util::Rng ra(5), rb(5);
+  GradSelector selector(SelectionMode::kAverageThreshold, false);
+  const auto sa = selector.apply(a, ra);
+  const auto sb =
+      select_gradient_rows(b, SelectionMode::kAverageThreshold, rb);
+  EXPECT_EQ(sa.rows_after, sb.rows_after);
+  EXPECT_EQ(a.sorted_ids(), b.sorted_ids());
+  EXPECT_EQ(selector.pending_rows(), 0u);
+}
+
+TEST(GradSelector, ParksDroppedRowsAsResiduals) {
+  GradSelector selector(SelectionMode::kAverageThreshold, true);
+  auto grad = make_grad({1.0f, 1.0f, 10.0f});
+  util::Rng rng(1);
+  selector.apply(grad, rng);
+  EXPECT_EQ(selector.pending_rows(), 2u);  // rows 0 and 1 dropped
+  EXPECT_FALSE(grad.has(0));
+}
+
+TEST(GradSelector, ResidualRedeliveredOnNextAppearance) {
+  GradSelector selector(SelectionMode::kAverageThreshold, true);
+  util::Rng rng(1);
+  // Step 1: row 0 (norm 1) dropped against row 2 (norm 10); parked.
+  auto step1 = make_grad({1.0f, 0.0f, 10.0f});
+  selector.apply(step1, rng);
+  ASSERT_EQ(selector.pending_rows(), 2u);
+  // Step 2: row 0 appears with a big gradient; with the parked residual
+  // folded in, its norm is 9 + 1 = 10, so it survives with the residual
+  // included — the Aji & Heafield guarantee.
+  kge::SparseGrad step2(4);
+  step2.accumulate(0)[0] = 9.0f;
+  step2.accumulate(2)[0] = 10.0f;
+  selector.apply(step2, rng);
+  ASSERT_TRUE(step2.has(0));
+  EXPECT_FLOAT_EQ(step2.row(0)[0], 10.0f);  // 9 current + 1 residual
+  EXPECT_EQ(selector.pending_rows(), 1u);   // only row 1 still parked
+}
+
+TEST(GradSelector, AccumulatedDeliveryApproachesTruth) {
+  // A persistently weak row under Bernoulli selection: with residuals the
+  // delivered total tracks the true total; without, a fraction is lost.
+  const auto delivered_total = [](bool residuals) {
+    GradSelector selector(SelectionMode::kBernoulli, residuals);
+    util::Rng rng(33);
+    double delivered = 0.0;
+    for (int step = 0; step < 400; ++step) {
+      kge::SparseGrad grad(4);
+      grad.accumulate(0)[0] = 0.1f;   // weak row: P(keep) ~ 0.1/mean
+      grad.accumulate(1)[0] = 2.0f;   // strong row, always kept
+      selector.apply(grad, rng);
+      if (grad.has(0)) delivered += grad.row(0)[0];
+    }
+    return delivered;
+  };
+  const double with_residuals = delivered_total(true);
+  const double without = delivered_total(false);
+  const double truth = 400 * 0.1;
+  EXPECT_NEAR(with_residuals, truth, truth * 0.15);
+  EXPECT_LT(without, truth * 0.5);
+}
+
+TEST(GradSelect, DeterministicGivenSeed) {
+  auto a = make_grad({0.5f, 1.0f, 1.5f, 2.0f, 2.5f, 3.0f});
+  auto b = make_grad({0.5f, 1.0f, 1.5f, 2.0f, 2.5f, 3.0f});
+  util::Rng ra(99), rb(99);
+  select_gradient_rows(a, SelectionMode::kBernoulli, ra);
+  select_gradient_rows(b, SelectionMode::kBernoulli, rb);
+  EXPECT_EQ(a.sorted_ids(), b.sorted_ids());
+}
+
+}  // namespace
+}  // namespace dynkge::core

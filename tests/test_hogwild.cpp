@@ -1,0 +1,111 @@
+#include "core/hogwild_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kge/synthetic.hpp"
+
+namespace dynkge::core {
+namespace {
+
+const kge::Dataset& tiny_dataset() {
+  static const kge::Dataset dataset = kge::generate_synthetic([] {
+    kge::SyntheticSpec spec;
+    spec.num_entities = 300;
+    spec.num_relations = 24;
+    spec.num_triples = 4000;
+    spec.num_latent_types = 6;
+    spec.seed = 99;
+    return spec;
+  }());
+  return dataset;
+}
+
+HogwildConfig fast_config(int threads) {
+  HogwildConfig config;
+  config.embedding_rank = 8;
+  config.num_threads = threads;
+  config.negatives = 2;
+  config.max_epochs = 12;
+  config.lr.base_lr = 0.05;  // plain SGD needs a larger step than Adam
+  config.lr.max_scale = 1;   // ...but diverges under linear thread scaling
+  config.lr.tolerance = 6;
+  config.compute_final_metrics = false;
+  config.seed = 4242;
+  return config;
+}
+
+TEST(Hogwild, RejectsBadConfig) {
+  HogwildConfig config = fast_config(1);
+  config.num_threads = 0;
+  EXPECT_THROW(HogwildTrainer(tiny_dataset(), config),
+               std::invalid_argument);
+  config = fast_config(1);
+  config.negatives = 0;
+  EXPECT_THROW(HogwildTrainer(tiny_dataset(), config),
+               std::invalid_argument);
+  config = fast_config(1);
+  config.max_epochs = 0;
+  EXPECT_THROW(HogwildTrainer(tiny_dataset(), config),
+               std::invalid_argument);
+}
+
+class HogwildThreadsP : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Threads, HogwildThreadsP,
+                         ::testing::Values(1, 2, 4));
+
+TEST_P(HogwildThreadsP, LossDecreases) {
+  const auto report =
+      HogwildTrainer(tiny_dataset(), fast_config(GetParam())).train();
+  ASSERT_GE(report.epochs, 2);
+  EXPECT_LT(report.epoch_log.back().mean_loss,
+            report.epoch_log.front().mean_loss);
+  EXPECT_EQ(report.num_threads, GetParam());
+}
+
+TEST_P(HogwildThreadsP, ReportIsConsistent) {
+  const auto report =
+      HogwildTrainer(tiny_dataset(), fast_config(GetParam())).train();
+  EXPECT_EQ(report.epoch_log.size(), static_cast<std::size_t>(report.epochs));
+  EXPECT_GT(report.total_cpu_seconds, 0.0);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  for (const auto& record : report.epoch_log) {
+    EXPECT_GT(record.lr, 0.0);
+    EXPECT_GE(record.cpu_seconds, 0.0);
+  }
+}
+
+TEST(Hogwild, ConvergesToUsableAccuracy) {
+  HogwildConfig config = fast_config(2);
+  config.max_epochs = 120;
+  config.lr.tolerance = 15;
+  config.compute_final_metrics = true;
+  const auto report = HogwildTrainer(tiny_dataset(), config).train();
+  EXPECT_GT(report.tca, 80.0);
+  EXPECT_GT(report.ranking.mrr, 0.3);
+  EXPECT_NE(report.model, nullptr);
+}
+
+TEST(Hogwild, SingleThreadMatchesSequentialSemantics) {
+  // With one thread there are no races: two runs are identical.
+  const auto a = HogwildTrainer(tiny_dataset(), fast_config(1)).train();
+  const auto b = HogwildTrainer(tiny_dataset(), fast_config(1)).train();
+  ASSERT_EQ(a.epochs, b.epochs);
+  for (int e = 0; e < a.epochs; ++e) {
+    EXPECT_DOUBLE_EQ(a.epoch_log[e].mean_loss, b.epoch_log[e].mean_loss);
+  }
+}
+
+TEST(Hogwild, OtherModelsRun) {
+  for (const char* model : {"distmult", "transe"}) {
+    HogwildConfig config = fast_config(2);
+    config.model_name = model;
+    config.max_epochs = 8;
+    const auto report = HogwildTrainer(tiny_dataset(), config).train();
+    EXPECT_LT(report.epoch_log.back().mean_loss,
+              report.epoch_log.front().mean_loss)
+        << model;
+  }
+}
+
+}  // namespace
+}  // namespace dynkge::core

@@ -1,0 +1,62 @@
+#include "kge/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dynkge::kge {
+namespace {
+
+TEST(LogisticLoss, ZeroScoreIsLog2) {
+  EXPECT_NEAR(logistic_loss(0.0, +1).loss, std::log(2.0), 1e-12);
+  EXPECT_NEAR(logistic_loss(0.0, -1).loss, std::log(2.0), 1e-12);
+}
+
+TEST(LogisticLoss, ConfidentCorrectIsCheap) {
+  EXPECT_LT(logistic_loss(10.0, +1).loss, 1e-4);
+  EXPECT_LT(logistic_loss(-10.0, -1).loss, 1e-4);
+}
+
+TEST(LogisticLoss, ConfidentWrongIsExpensive) {
+  EXPECT_GT(logistic_loss(-10.0, +1).loss, 9.0);
+  EXPECT_GT(logistic_loss(10.0, -1).loss, 9.0);
+}
+
+TEST(LogisticLoss, GradientSign) {
+  // Positive label: loss decreases as score increases -> dscore < 0.
+  EXPECT_LT(logistic_loss(0.0, +1).dscore, 0.0);
+  // Negative label: loss increases as score increases -> dscore > 0.
+  EXPECT_GT(logistic_loss(0.0, -1).dscore, 0.0);
+}
+
+TEST(LogisticLoss, GradientMatchesFiniteDifference) {
+  for (const int label : {+1, -1}) {
+    for (const double score : {-3.0, -0.7, 0.0, 0.7, 3.0}) {
+      const double h = 1e-6;
+      const double numeric =
+          (logistic_loss(score + h, label).loss -
+           logistic_loss(score - h, label).loss) /
+          (2.0 * h);
+      EXPECT_NEAR(logistic_loss(score, label).dscore, numeric, 1e-6);
+    }
+  }
+}
+
+TEST(LogisticLoss, GradientBounded) {
+  // |dscore| = sigmoid(-y*phi) is always in (0, 1).
+  for (const double score : {-100.0, -1.0, 0.0, 1.0, 100.0}) {
+    for (const int label : {+1, -1}) {
+      const double g = logistic_loss(score, label).dscore;
+      EXPECT_LE(std::fabs(g), 1.0);
+    }
+  }
+}
+
+TEST(LogisticLoss, ExtremeScoresStayFinite) {
+  EXPECT_TRUE(std::isfinite(logistic_loss(1e8, -1).loss));
+  EXPECT_TRUE(std::isfinite(logistic_loss(-1e8, +1).loss));
+  EXPECT_TRUE(std::isfinite(logistic_loss(1e8, -1).dscore));
+}
+
+}  // namespace
+}  // namespace dynkge::kge

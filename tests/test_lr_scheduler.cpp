@@ -1,0 +1,128 @@
+#include "core/lr_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynkge::core {
+namespace {
+
+TEST(PlateauScheduler, LinearScalingIsCappedAtFour) {
+  // Paper section 3.4: lr = lr0 * min(4, nodes).
+  PlateauConfig config;
+  config.base_lr = 0.001;
+  EXPECT_DOUBLE_EQ(PlateauScheduler(config, 1).lr(), 0.001);
+  EXPECT_DOUBLE_EQ(PlateauScheduler(config, 2).lr(), 0.002);
+  EXPECT_DOUBLE_EQ(PlateauScheduler(config, 4).lr(), 0.004);
+  EXPECT_DOUBLE_EQ(PlateauScheduler(config, 8).lr(), 0.004);
+  EXPECT_DOUBLE_EQ(PlateauScheduler(config, 16).lr(), 0.004);
+}
+
+TEST(PlateauScheduler, ZeroNodesTreatedAsOne) {
+  PlateauConfig config;
+  config.base_lr = 0.001;
+  EXPECT_DOUBLE_EQ(PlateauScheduler(config, 0).lr(), 0.001);
+}
+
+TEST(PlateauScheduler, ImprovementResetsPatience) {
+  PlateauConfig config;
+  config.tolerance = 3;
+  PlateauScheduler scheduler(config, 1);
+  const double lr0 = scheduler.lr();
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    scheduler.observe(50.0 + epoch);  // always improving
+  }
+  EXPECT_DOUBLE_EQ(scheduler.lr(), lr0);
+  EXPECT_FALSE(scheduler.should_stop());
+}
+
+TEST(PlateauScheduler, ReducesAfterToleranceEpochs) {
+  PlateauConfig config;
+  config.tolerance = 5;
+  config.factor = 0.1;
+  PlateauScheduler scheduler(config, 1);
+  const double lr0 = scheduler.lr();
+  scheduler.observe(80.0);
+  bool reduced = false;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    reduced = scheduler.observe(80.0);  // no improvement
+  }
+  EXPECT_TRUE(reduced);
+  EXPECT_DOUBLE_EQ(scheduler.lr(), lr0 * 0.1);
+}
+
+TEST(PlateauScheduler, TinyWobbleDoesNotCountAsImprovement) {
+  PlateauConfig config;
+  config.tolerance = 3;
+  config.min_improvement = 0.5;
+  PlateauScheduler scheduler(config, 1);
+  scheduler.observe(80.0);
+  const double lr0 = scheduler.lr();
+  scheduler.observe(80.1);
+  scheduler.observe(80.2);
+  scheduler.observe(80.3);  // all within min_improvement of the best
+  EXPECT_LT(scheduler.lr(), lr0);
+}
+
+TEST(PlateauScheduler, StopsAtMinLrAfterSecondPlateau) {
+  PlateauConfig config;
+  config.base_lr = 0.001;
+  config.tolerance = 2;
+  config.factor = 0.1;
+  config.min_lr = 1e-4;
+  PlateauScheduler scheduler(config, 1);
+  scheduler.observe(80.0);
+  // First plateau: 0.001 -> 1e-4.
+  scheduler.observe(80.0);
+  scheduler.observe(80.0);
+  EXPECT_DOUBLE_EQ(scheduler.lr(), 1e-4);
+  EXPECT_FALSE(scheduler.should_stop());
+  // Second plateau at the floor: stop.
+  scheduler.observe(80.0);
+  scheduler.observe(80.0);
+  EXPECT_TRUE(scheduler.should_stop());
+}
+
+TEST(PlateauScheduler, LrNeverBelowMinLr) {
+  PlateauConfig config;
+  config.base_lr = 0.001;
+  config.tolerance = 1;
+  config.factor = 0.1;
+  config.min_lr = 5e-4;  // one reduction saturates
+  PlateauScheduler scheduler(config, 1);
+  scheduler.observe(80.0);
+  scheduler.observe(80.0);
+  EXPECT_DOUBLE_EQ(scheduler.lr(), 5e-4);
+}
+
+TEST(PlateauScheduler, RecoveryAfterReduction) {
+  PlateauConfig config;
+  config.tolerance = 2;
+  PlateauScheduler scheduler(config, 1);
+  scheduler.observe(80.0);
+  scheduler.observe(80.0);
+  scheduler.observe(80.0);  // reduction
+  const double lr_after = scheduler.lr();
+  scheduler.observe(85.0);  // new best: patience resets
+  scheduler.observe(84.0);
+  EXPECT_DOUBLE_EQ(scheduler.lr(), lr_after);
+  EXPECT_FALSE(scheduler.should_stop());
+}
+
+TEST(PlateauScheduler, TracksBestMetric) {
+  PlateauScheduler scheduler({}, 1);
+  scheduler.observe(70.0);
+  scheduler.observe(75.0);
+  scheduler.observe(72.0);
+  EXPECT_DOUBLE_EQ(scheduler.best_metric(), 75.0);
+}
+
+TEST(PlateauScheduler, RejectsBadConfig) {
+  PlateauConfig config;
+  config.tolerance = 0;
+  EXPECT_THROW(PlateauScheduler(config, 1), std::invalid_argument);
+  config = {};
+  config.factor = 1.5;
+  EXPECT_THROW(PlateauScheduler(config, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dynkge::core

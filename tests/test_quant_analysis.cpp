@@ -1,0 +1,93 @@
+#include "core/quant_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dynkge::core {
+namespace {
+
+std::vector<float> gaussian_row(int width, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> row(width);
+  for (auto& v : row) v = static_cast<float>(rng.next_normal());
+  return row;
+}
+
+TEST(QuantAnalysis, RawCodecIsPerfect) {
+  const RowCodec codec(QuantMode::kNone, OneBitScale::kMax, 64);
+  const auto row = gaussian_row(64, 1);
+  util::Rng rng(2);
+  const auto quality = analyze_quantization(codec, row, rng);
+  EXPECT_DOUBLE_EQ(quality.compression_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(quality.relative_l2_error, 0.0);
+  EXPECT_NEAR(quality.cosine_alignment, 1.0, 1e-12);
+  EXPECT_TRUE(quality.contraction);
+}
+
+TEST(QuantAnalysis, OneBitCompressionNear32x) {
+  const RowCodec codec(QuantMode::kOneBit, OneBitScale::kMax, 256);
+  const auto row = gaussian_row(256, 3);
+  util::Rng rng(4);
+  const auto quality = analyze_quantization(codec, row, rng);
+  EXPECT_GT(quality.compression_ratio, 20.0);
+}
+
+TEST(QuantAnalysis, MaxScaleIsNotAContraction) {
+  // The paper's chosen 1-bit scale inflates every component to max|v|, so
+  // the reconstruction error exceeds the signal on gaussian rows — the
+  // documented reason error feedback diverges with it.
+  const RowCodec codec(QuantMode::kOneBit, OneBitScale::kMax, 128);
+  const auto row = gaussian_row(128, 5);
+  util::Rng rng(6);
+  const auto quality = analyze_quantization(codec, row, rng);
+  EXPECT_FALSE(quality.contraction);
+  EXPECT_GT(quality.relative_l2_error, 1.0);
+  // ...yet it stays directionally faithful: signs are preserved.
+  EXPECT_GT(quality.cosine_alignment, 0.5);
+}
+
+TEST(QuantAnalysis, MeanScaleIsAContraction) {
+  const RowCodec codec(QuantMode::kOneBit, OneBitScale::kMean, 128);
+  const auto row = gaussian_row(128, 7);
+  util::Rng rng(8);
+  const auto quality = analyze_quantization(codec, row, rng);
+  EXPECT_TRUE(quality.contraction);
+  EXPECT_LT(quality.relative_l2_error, 1.0);
+}
+
+TEST(QuantAnalysis, TwoBitNearlyUnbiased) {
+  const RowCodec codec(QuantMode::kTwoBit, OneBitScale::kMax, 64);
+  // Values below the mean-|v| scale are reconstructed without bias.
+  std::vector<float> row(64);
+  util::Rng data_rng(9);
+  for (auto& v : row) {
+    v = static_cast<float>(data_rng.next_double(-0.1, 0.1));
+  }
+  util::Rng rng(10);
+  const auto quality = analyze_quantization(codec, row, rng, 400);
+  EXPECT_NEAR(quality.mean_bias, 0.0, 0.02);
+}
+
+TEST(QuantAnalysis, AlignmentOrdering) {
+  // Mean-scale 1-bit reconstructs gaussian rows better than max-scale.
+  const auto row = gaussian_row(200, 11);
+  util::Rng rng(12);
+  const auto max_quality = analyze_quantization(
+      RowCodec(QuantMode::kOneBit, OneBitScale::kMax, 200), row, rng);
+  const auto mean_quality = analyze_quantization(
+      RowCodec(QuantMode::kOneBit, OneBitScale::kMean, 200), row, rng);
+  EXPECT_LT(mean_quality.relative_l2_error, max_quality.relative_l2_error);
+}
+
+TEST(QuantAnalysis, ZeroRowIsHarmless) {
+  const RowCodec codec(QuantMode::kOneBit, OneBitScale::kMax, 16);
+  const std::vector<float> row(16, 0.0f);
+  util::Rng rng(13);
+  const auto quality = analyze_quantization(codec, row, rng);
+  EXPECT_DOUBLE_EQ(quality.relative_l2_error, 0.0);
+  EXPECT_DOUBLE_EQ(quality.mean_bias, 0.0);
+}
+
+}  // namespace
+}  // namespace dynkge::core

@@ -1,0 +1,277 @@
+#include "core/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/span_math.hpp"
+
+namespace dynkge::core {
+namespace {
+
+std::vector<float> test_row() {
+  return {0.5f, -1.5f, 2.0f, -0.25f, 0.0f, 3.5f, -2.75f, 1.0f};
+}
+
+TEST(RowCodec, SizesMatchSpec) {
+  EXPECT_EQ(RowCodec(QuantMode::kNone, OneBitScale::kMax, 8).bytes_per_row(),
+            4u + 8u * 4u);
+  EXPECT_EQ(RowCodec(QuantMode::kOneBit, OneBitScale::kMax, 8).bytes_per_row(),
+            4u + 4u + 1u);
+  EXPECT_EQ(RowCodec(QuantMode::kTwoBit, OneBitScale::kMax, 8).bytes_per_row(),
+            4u + 4u + 2u);
+  // Non-multiple widths round bits up to whole bytes.
+  EXPECT_EQ(
+      RowCodec(QuantMode::kOneBit, OneBitScale::kMax, 9).bytes_per_row(),
+      4u + 4u + 2u);
+  EXPECT_EQ(
+      RowCodec(QuantMode::kTwoBit, OneBitScale::kMax, 5).bytes_per_row(),
+      4u + 4u + 2u);
+}
+
+TEST(RowCodec, OneBitShrinks32x) {
+  // The headline claim: 1 bit per value instead of 32.
+  const RowCodec raw(QuantMode::kNone, OneBitScale::kMax, 256);
+  const RowCodec onebit(QuantMode::kOneBit, OneBitScale::kMax, 256);
+  const double payload_raw = 256.0 * 4.0;
+  const double payload_1bit = 256.0 / 8.0;
+  EXPECT_DOUBLE_EQ(payload_raw / payload_1bit, 32.0);
+  EXPECT_LT(onebit.bytes_per_row(), raw.bytes_per_row() / 16u);
+}
+
+TEST(RowCodec, RejectsBadWidth) {
+  EXPECT_THROW(RowCodec(QuantMode::kNone, OneBitScale::kMax, 0),
+               std::invalid_argument);
+}
+
+TEST(RowCodec, RawRoundTripIsExact) {
+  const RowCodec codec(QuantMode::kNone, OneBitScale::kMax, 8);
+  const auto row = test_row();
+  util::Rng rng(1);
+  std::vector<std::byte> buffer;
+  codec.encode(42, row, buffer, rng);
+  ASSERT_EQ(buffer.size(), codec.bytes_per_row());
+  std::vector<float> decoded(8);
+  EXPECT_EQ(codec.decode(buffer, decoded), 42);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    EXPECT_FLOAT_EQ(decoded[i], row[i]);
+  }
+}
+
+TEST(RowCodec, OneBitMaxDecodesToSignTimesMax) {
+  const RowCodec codec(QuantMode::kOneBit, OneBitScale::kMax, 8);
+  const auto row = test_row();  // max |v| = 3.5
+  util::Rng rng(1);
+  std::vector<std::byte> buffer;
+  codec.encode(7, row, buffer, rng);
+  std::vector<float> decoded(8);
+  EXPECT_EQ(codec.decode(buffer, decoded), 7);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    EXPECT_FLOAT_EQ(std::fabs(decoded[i]), 3.5f);
+    if (row[i] > 0.0f) EXPECT_GT(decoded[i], 0.0f);
+    if (row[i] < 0.0f) EXPECT_LT(decoded[i], 0.0f);
+  }
+}
+
+TEST(RowCodec, OneBitMeanUsesMeanAbs) {
+  const RowCodec codec(QuantMode::kOneBit, OneBitScale::kMean, 4);
+  const std::vector<float> row{1.0f, -2.0f, 3.0f, -2.0f};  // mean|v| = 2
+  util::Rng rng(1);
+  std::vector<std::byte> buffer;
+  codec.encode(0, row, buffer, rng);
+  std::vector<float> decoded(4);
+  codec.decode(buffer, decoded);
+  EXPECT_FLOAT_EQ(decoded[0], 2.0f);
+  EXPECT_FLOAT_EQ(decoded[1], -2.0f);
+}
+
+TEST(RowCodec, OneSidedScaleVariants) {
+  const std::vector<float> row{1.0f, -4.0f, 2.0f, -1.0f};
+  util::Rng rng(1);
+  std::vector<float> decoded(4);
+  std::vector<std::byte> buffer;
+
+  // negmax: scale from |negatives| = max(4, 1) = 4.
+  RowCodec negmax(QuantMode::kOneBit, OneBitScale::kNegMax, 4);
+  negmax.encode(0, row, buffer, rng);
+  negmax.decode(buffer, decoded);
+  EXPECT_FLOAT_EQ(decoded[0], 4.0f);
+
+  // posmax: scale from positives = max(1, 2) = 2.
+  buffer.clear();
+  RowCodec posmax(QuantMode::kOneBit, OneBitScale::kPosMax, 4);
+  posmax.encode(0, row, buffer, rng);
+  posmax.decode(buffer, decoded);
+  EXPECT_FLOAT_EQ(decoded[0], 2.0f);
+
+  // negavg: mean(4, 1) = 2.5; posavg: mean(1, 2) = 1.5.
+  buffer.clear();
+  RowCodec negavg(QuantMode::kOneBit, OneBitScale::kNegMean, 4);
+  negavg.encode(0, row, buffer, rng);
+  negavg.decode(buffer, decoded);
+  EXPECT_FLOAT_EQ(decoded[0], 2.5f);
+
+  buffer.clear();
+  RowCodec posavg(QuantMode::kOneBit, OneBitScale::kPosMean, 4);
+  posavg.encode(0, row, buffer, rng);
+  posavg.decode(buffer, decoded);
+  EXPECT_FLOAT_EQ(decoded[0], 1.5f);
+}
+
+TEST(RowCodec, OneSidedFallsBackWhenSideEmpty) {
+  // All-positive row with a negatives-based scale: falls back to max|v|.
+  const std::vector<float> row{1.0f, 2.0f, 3.0f, 0.5f};
+  util::Rng rng(1);
+  std::vector<std::byte> buffer;
+  RowCodec negmax(QuantMode::kOneBit, OneBitScale::kNegMax, 4);
+  negmax.encode(0, row, buffer, rng);
+  std::vector<float> decoded(4);
+  negmax.decode(buffer, decoded);
+  EXPECT_FLOAT_EQ(decoded[0], 3.0f);
+}
+
+TEST(RowCodec, AllZeroRowSurvives) {
+  for (const QuantMode mode :
+       {QuantMode::kNone, QuantMode::kOneBit, QuantMode::kTwoBit}) {
+    const RowCodec codec(mode, OneBitScale::kMax, 4);
+    const std::vector<float> row(4, 0.0f);
+    util::Rng rng(1);
+    std::vector<std::byte> buffer;
+    codec.encode(3, row, buffer, rng);
+    std::vector<float> decoded(4, 99.0f);
+    EXPECT_EQ(codec.decode(buffer, decoded), 3);
+    for (const float v : decoded) EXPECT_FLOAT_EQ(v, 0.0f);
+  }
+}
+
+TEST(RowCodec, TwoBitValuesAreTernary) {
+  const RowCodec codec(QuantMode::kTwoBit, OneBitScale::kMax, 8);
+  const auto row = test_row();
+  const float scale = util::amean(row);
+  util::Rng rng(1);
+  std::vector<std::byte> buffer;
+  codec.encode(0, row, buffer, rng);
+  std::vector<float> decoded(8);
+  codec.decode(buffer, decoded);
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    const bool ternary = decoded[i] == 0.0f ||
+                         std::fabs(std::fabs(decoded[i]) - scale) < 1e-6f;
+    EXPECT_TRUE(ternary) << "component " << i << " = " << decoded[i];
+    // Sign can only match or be zero.
+    if (decoded[i] != 0.0f && row[i] != 0.0f) {
+      EXPECT_GT(decoded[i] * row[i], 0.0f);
+    }
+  }
+}
+
+TEST(RowCodec, TwoBitIsUnbiasedInExpectation) {
+  // E[decoded_i] = sign * scale * min(1, |v_i|/scale) = v_i (for
+  // |v_i| <= scale). Average many stochastic encodings.
+  const RowCodec codec(QuantMode::kTwoBit, OneBitScale::kMax, 2);
+  const std::vector<float> row{0.5f, -1.5f};  // scale = mean|v| = 1.0
+  util::Rng rng(7);
+  double sum0 = 0.0, sum1 = 0.0;
+  constexpr int kTrials = 20000;
+  std::vector<std::byte> buffer;
+  std::vector<float> decoded(2);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    buffer.clear();
+    codec.encode(0, row, buffer, rng);
+    codec.decode(buffer, decoded);
+    sum0 += decoded[0];
+    sum1 += decoded[1];
+  }
+  EXPECT_NEAR(sum0 / kTrials, 0.5, 0.02);
+  // |v| > scale saturates at -scale (bias is expected there).
+  EXPECT_NEAR(sum1 / kTrials, -1.0, 0.02);
+}
+
+TEST(RowCodec, EncodeGradSortedAndSized) {
+  const RowCodec codec(QuantMode::kOneBit, OneBitScale::kMax, 4);
+  kge::SparseGrad grad(4);
+  grad.accumulate(9)[0] = 1.0f;
+  grad.accumulate(2)[1] = -2.0f;
+  grad.accumulate(5)[2] = 3.0f;
+  util::Rng rng(1);
+  std::vector<std::byte> buffer;
+  codec.encode_grad(grad, buffer, rng);
+  ASSERT_EQ(buffer.size(), 3 * codec.bytes_per_row());
+  std::vector<float> values(4);
+  EXPECT_EQ(codec.decode({buffer.data(), codec.bytes_per_row()}, values), 2);
+  EXPECT_EQ(codec.decode({buffer.data() + codec.bytes_per_row(),
+                          codec.bytes_per_row()},
+                         values),
+            5);
+}
+
+TEST(RowCodec, DecodeAccumulateSums) {
+  const RowCodec codec(QuantMode::kNone, OneBitScale::kMax, 2);
+  kge::SparseGrad a(2), b(2);
+  a.accumulate(1)[0] = 1.0f;
+  b.accumulate(1)[0] = 2.0f;
+  b.accumulate(3)[1] = 5.0f;
+  util::Rng rng(1);
+  std::vector<std::byte> buf_a, buf_b;
+  codec.encode_grad(a, buf_a, rng);
+  codec.encode_grad(b, buf_b, rng);
+  // Concatenate as an allgather would.
+  std::vector<std::byte> gathered = buf_a;
+  gathered.insert(gathered.end(), buf_b.begin(), buf_b.end());
+  kge::SparseGrad merged(2);
+  codec.decode_accumulate(gathered, merged);
+  EXPECT_EQ(merged.num_rows(), 2u);
+  EXPECT_FLOAT_EQ(merged.row(1)[0], 3.0f);
+  EXPECT_FLOAT_EQ(merged.row(3)[1], 5.0f);
+}
+
+TEST(RowCodec, DecodeAccumulateRejectsRaggedBuffer) {
+  const RowCodec codec(QuantMode::kNone, OneBitScale::kMax, 2);
+  kge::SparseGrad merged(2);
+  std::vector<std::byte> bogus(codec.bytes_per_row() + 1);
+  EXPECT_THROW(codec.decode_accumulate(bogus, merged),
+               std::invalid_argument);
+}
+
+TEST(RowCodec, EncodeRejectsWrongWidth) {
+  const RowCodec codec(QuantMode::kNone, OneBitScale::kMax, 4);
+  std::vector<float> row(5);
+  std::vector<std::byte> buffer;
+  util::Rng rng(1);
+  EXPECT_THROW(codec.encode(0, row, buffer, rng), std::invalid_argument);
+}
+
+TEST(RowCodec, QuantizedValuesMatchesEncodeDecode) {
+  const RowCodec codec(QuantMode::kOneBit, OneBitScale::kMax, 8);
+  const auto row = test_row();
+  util::Rng rng(1);
+  std::vector<float> via_helper(8);
+  codec.quantized_values(row, via_helper, rng);
+  std::vector<std::byte> buffer;
+  util::Rng rng2(1);
+  codec.encode(0, row, buffer, rng2);
+  std::vector<float> via_wire(8);
+  codec.decode(buffer, via_wire);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(via_helper[i], via_wire[i]);
+  }
+}
+
+TEST(RowCodec, WidePayloadRoundTrip) {
+  // Width 200 matches the paper's "up to 200 dimensions" remark.
+  const RowCodec codec(QuantMode::kOneBit, OneBitScale::kMax, 200);
+  std::vector<float> row(200);
+  util::Rng rng(5);
+  for (auto& v : row) v = static_cast<float>(rng.next_double(-1, 1));
+  std::vector<std::byte> buffer;
+  codec.encode(123, row, buffer, rng);
+  ASSERT_EQ(buffer.size(), codec.bytes_per_row());
+  std::vector<float> decoded(200);
+  EXPECT_EQ(codec.decode(buffer, decoded), 123);
+  for (std::size_t i = 0; i < 200; ++i) {
+    if (row[i] != 0.0f) EXPECT_GT(decoded[i] * row[i], 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace dynkge::core

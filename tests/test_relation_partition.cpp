@@ -1,0 +1,188 @@
+#include "core/relation_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kge/synthetic.hpp"
+
+namespace dynkge::core {
+namespace {
+
+using kge::Triple;
+using kge::TripleList;
+
+TripleList paper_example() {
+  // Table 3 of the paper: 5 triples, relations {1, 1, 2, 3, 3} (0-based
+  // here: {0, 0, 1, 2, 2}).
+  return {{1, 0, 2}, {2, 0, 10}, {3, 1, 5}, {6, 2, 9}, {7, 2, 8}};
+}
+
+TEST(RelationPartition, PaperTable3Example) {
+  // Two processors: triples 1-2 (relation 0) on one, the rest on the other
+  // — exactly the paper's illustration.
+  const auto partition = partition_by_relation(paper_example(), 2, 3);
+  ASSERT_EQ(partition.shards.size(), 2u);
+  EXPECT_EQ(partition.shards[0].size(), 2u);
+  EXPECT_EQ(partition.shards[1].size(), 3u);
+  EXPECT_TRUE(partition.relations_disjoint(3));
+}
+
+TEST(RelationPartition, SingleRankGetsEverything) {
+  const auto partition = partition_by_relation(paper_example(), 1, 3);
+  EXPECT_EQ(partition.shards[0].size(), 5u);
+  EXPECT_EQ(partition.relation_range[0].first, 0);
+  EXPECT_EQ(partition.relation_range[0].second, 3);
+}
+
+TEST(RelationPartition, NoTripleLost) {
+  const kge::Dataset ds = kge::generate_synthetic(
+      [] {
+        kge::SyntheticSpec spec;
+        spec.num_entities = 400;
+        spec.num_relations = 37;
+        spec.num_triples = 6000;
+        spec.num_latent_types = 5;
+        spec.seed = 17;
+        return spec;
+      }());
+  for (const int ranks : {1, 2, 3, 4, 8, 16}) {
+    const auto partition =
+        partition_by_relation(ds.train(), ranks, ds.num_relations());
+    std::size_t total = 0;
+    for (const auto& shard : partition.shards) total += shard.size();
+    EXPECT_EQ(total, ds.train().size()) << ranks << " ranks";
+  }
+}
+
+class RelationPartitionP : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, RelationPartitionP,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST_P(RelationPartitionP, DisjointAndOrdered) {
+  const kge::Dataset ds = kge::generate_synthetic(
+      [] {
+        kge::SyntheticSpec spec;
+        spec.num_entities = 300;
+        spec.num_relations = 29;
+        spec.num_triples = 5000;
+        spec.num_latent_types = 4;
+        spec.seed = 23;
+        return spec;
+      }());
+  const int ranks = GetParam();
+  const auto partition =
+      partition_by_relation(ds.train(), ranks, ds.num_relations());
+
+  EXPECT_TRUE(partition.relations_disjoint(ds.num_relations()));
+
+  // Ranges tile [0, num_relations) in ascending rank order.
+  kge::RelationId cursor = 0;
+  for (const auto& [lo, hi] : partition.relation_range) {
+    EXPECT_EQ(lo, cursor);
+    EXPECT_LE(lo, hi);
+    cursor = hi;
+  }
+  EXPECT_EQ(cursor, ds.num_relations());
+
+  // Every triple lives in the shard owning its relation.
+  for (std::size_t rank = 0; rank < partition.shards.size(); ++rank) {
+    for (const Triple& t : partition.shards[rank]) {
+      EXPECT_EQ(partition.owner_of(t.relation), static_cast<int>(rank));
+    }
+  }
+}
+
+TEST_P(RelationPartitionP, ReasonablyBalanced) {
+  // With Zipf-skewed relations a perfect balance is impossible (a single
+  // hot relation cannot be split), but the partition must stay within the
+  // bound set by the largest relation.
+  const kge::Dataset ds = kge::generate_synthetic(
+      [] {
+        kge::SyntheticSpec spec;
+        spec.num_entities = 500;
+        spec.num_relations = 64;
+        spec.num_triples = 12000;
+        spec.num_latent_types = 8;
+        spec.seed = 29;
+        return spec;
+      }());
+  const int ranks = GetParam();
+  const auto partition =
+      partition_by_relation(ds.train(), ranks, ds.num_relations());
+
+  std::vector<std::size_t> relation_count(ds.num_relations(), 0);
+  for (const Triple& t : ds.train()) ++relation_count[t.relation];
+  const std::size_t biggest_relation =
+      *std::max_element(relation_count.begin(), relation_count.end());
+  const std::size_t mean_shard = ds.train().size() / ranks;
+
+  EXPECT_LE(partition.max_shard_size(), mean_shard + biggest_relation)
+      << "quantile split must not overshoot by more than one relation";
+}
+
+TEST(RelationPartition, MoreRanksThanRelations) {
+  // 3 relations over 8 ranks: some shards must be empty, none invalid.
+  TripleList triples = paper_example();
+  const auto partition = partition_by_relation(triples, 8, 3);
+  EXPECT_TRUE(partition.relations_disjoint(3));
+  std::size_t total = 0;
+  for (const auto& shard : partition.shards) total += shard.size();
+  EXPECT_EQ(total, triples.size());
+}
+
+TEST(RelationPartition, RejectsBadArguments) {
+  EXPECT_THROW(partition_by_relation(paper_example(), 0, 3),
+               std::invalid_argument);
+  EXPECT_THROW(partition_by_relation(paper_example(), 2, 0),
+               std::invalid_argument);
+  EXPECT_THROW(partition_uniform(paper_example(), 0), std::invalid_argument);
+}
+
+TEST(RelationPartition, EmptyTripleList) {
+  const auto partition = partition_by_relation({}, 4, 10);
+  EXPECT_EQ(partition.shards.size(), 4u);
+  for (const auto& shard : partition.shards) EXPECT_TRUE(shard.empty());
+}
+
+TEST(PartitionUniform, EvenSplit) {
+  TripleList triples(10, Triple{0, 0, 1});
+  const auto shards = partition_uniform(triples, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards[0].size(), 3u);
+  EXPECT_EQ(shards[1].size(), 3u);
+  EXPECT_EQ(shards[2].size(), 2u);
+  EXPECT_EQ(shards[3].size(), 2u);
+}
+
+TEST(PartitionUniform, PreservesOrderAndContent) {
+  TripleList triples;
+  for (int i = 0; i < 7; ++i) triples.push_back({i, 0, i + 1});
+  const auto shards = partition_uniform(triples, 3);
+  std::size_t idx = 0;
+  for (const auto& shard : shards) {
+    for (const Triple& t : shard) {
+      EXPECT_EQ(t, triples[idx++]);
+    }
+  }
+  EXPECT_EQ(idx, triples.size());
+}
+
+TEST(PartitionUniform, MoreRanksThanTriples) {
+  TripleList triples(2, Triple{0, 0, 1});
+  const auto shards = partition_uniform(triples, 5);
+  EXPECT_EQ(shards[0].size(), 1u);
+  EXPECT_EQ(shards[1].size(), 1u);
+  EXPECT_EQ(shards[2].size(), 0u);
+}
+
+TEST(RelationPartition, ImbalanceMetric) {
+  RelationPartition partition;
+  partition.shards = {TripleList(6, Triple{}), TripleList(2, Triple{})};
+  EXPECT_DOUBLE_EQ(partition.imbalance(), 6.0 / 4.0);
+  EXPECT_EQ(partition.max_shard_size(), 6u);
+  EXPECT_EQ(partition.min_shard_size(), 2u);
+}
+
+}  // namespace
+}  // namespace dynkge::core

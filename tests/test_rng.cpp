@@ -1,0 +1,189 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace dynkge::util {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values from the canonical splitmix64 implementation, seed 0.
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64(s), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(s), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64(s), 0x06c45d188009454fULL);
+}
+
+TEST(DeriveSeed, DistinctForDistinctParts) {
+  std::set<std::uint64_t> seeds;
+  for (int rank = 0; rank < 16; ++rank) {
+    for (int epoch = 0; epoch < 16; ++epoch) {
+      seeds.insert(derive_seed(123, rank, epoch));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 16u * 16u);
+}
+
+TEST(DeriveSeed, OrderSensitive) {
+  EXPECT_NE(derive_seed(1, 2, 3), derive_seed(1, 3, 2));
+}
+
+TEST(Rng, Reproducible) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(1);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowZeroAndOne) {
+  Rng rng(1);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, FloatInUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = rng.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Rng, RangedDouble) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double(-2.5, 7.5);
+    EXPECT_GE(d, -2.5);
+    EXPECT_LT(d, 7.5);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(6);
+  for (const double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i) hits += rng.next_bernoulli(p);
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, p, 0.02);
+  }
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0 + 1e-9));
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(8);
+  constexpr int kDraws = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.next_normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(9);
+  constexpr int kDraws = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += rng.next_normal(3.0, 0.5);
+  EXPECT_NEAR(sum / kDraws, 3.0, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(10);
+  Rng child = parent.split();
+  // The child stream must not replay the parent stream.
+  Rng parent_copy(10);
+  parent_copy.split();  // advance identically
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (child.next_u64() == parent_copy.next_u64());
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(ZipfSampler, SkewsTowardSmallIndices) {
+  ZipfSampler zipf(100, 1.1);
+  Rng rng(11);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(ZipfSampler, CoversSupport) {
+  ZipfSampler zipf(5, 0.5);
+  Rng rng(12);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(zipf.sample(rng));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(ZipfSampler, ExponentZeroIsUniform) {
+  ZipfSampler zipf(4, 0.0);
+  Rng rng(13);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.sample(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, kDraws / 4, kDraws / 4 * 0.1);
+}
+
+}  // namespace
+}  // namespace dynkge::util

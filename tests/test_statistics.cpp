@@ -1,0 +1,144 @@
+#include "kge/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kge/synthetic.hpp"
+
+namespace dynkge::kge {
+namespace {
+
+TEST(Statistics, CountsBasics) {
+  const Dataset ds(6, 2, {{0, 0, 1}, {1, 0, 2}, {2, 1, 3}}, {{3, 0, 4}},
+                   {{4, 1, 5}});
+  const DatasetStats stats = compute_statistics(ds);
+  EXPECT_EQ(stats.train_triples, 3u);
+  EXPECT_EQ(stats.valid_triples, 1u);
+  EXPECT_EQ(stats.test_triples, 1u);
+  // Entities 0..3 appear in train (4 used); relations 0 and 1 both used.
+  EXPECT_EQ(stats.entities_used, 4u);
+  EXPECT_EQ(stats.relations_used, 2u);
+}
+
+TEST(Statistics, DegreeComputation) {
+  // Entity 1 appears in 2 train triples (degree 2), others once.
+  const Dataset ds(4, 1, {{0, 0, 1}, {1, 0, 2}}, {}, {});
+  const DatasetStats stats = compute_statistics(ds);
+  EXPECT_EQ(stats.max_entity_degree, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_entity_degree, 4.0 / 3.0);
+}
+
+TEST(Statistics, CardinalityOneToOne) {
+  // Each head maps to exactly one tail and vice versa.
+  const Dataset ds(8, 1, {{0, 0, 1}, {2, 0, 3}, {4, 0, 5}}, {}, {});
+  const DatasetStats stats = compute_statistics(ds);
+  EXPECT_EQ(stats.cardinality_counts[static_cast<int>(
+                RelationCardinality::kOneToOne)],
+            1u);
+}
+
+TEST(Statistics, CardinalityOneToMany) {
+  // One head, four tails: tails-per-head 4, heads-per-tail 1.
+  const Dataset ds(8, 1, {{0, 0, 1}, {0, 0, 2}, {0, 0, 3}, {0, 0, 4}}, {},
+                   {});
+  const DatasetStats stats = compute_statistics(ds);
+  EXPECT_EQ(stats.cardinality_counts[static_cast<int>(
+                RelationCardinality::kOneToMany)],
+            1u);
+}
+
+TEST(Statistics, CardinalityManyToOne) {
+  const Dataset ds(8, 1, {{1, 0, 0}, {2, 0, 0}, {3, 0, 0}, {4, 0, 0}}, {},
+                   {});
+  const DatasetStats stats = compute_statistics(ds);
+  EXPECT_EQ(stats.cardinality_counts[static_cast<int>(
+                RelationCardinality::kManyToOne)],
+            1u);
+}
+
+TEST(Statistics, CardinalityManyToMany) {
+  const Dataset ds(6, 1,
+                   {{0, 0, 2}, {0, 0, 3}, {1, 0, 2}, {1, 0, 3},
+                    {0, 0, 4}, {1, 0, 4}},
+                   {}, {});
+  const DatasetStats stats = compute_statistics(ds);
+  EXPECT_EQ(stats.cardinality_counts[static_cast<int>(
+                RelationCardinality::kManyToMany)],
+            1u);
+}
+
+TEST(Statistics, GiniZeroForUniform) {
+  // Two relations with identical counts.
+  const Dataset ds(8, 2, {{0, 0, 1}, {2, 0, 3}, {4, 1, 5}, {6, 1, 7}}, {},
+                   {});
+  const DatasetStats stats = compute_statistics(ds);
+  EXPECT_NEAR(stats.relation_gini, 0.0, 1e-12);
+}
+
+TEST(Statistics, GiniHighForSkewed) {
+  TripleList train;
+  // Relation 0: 50 triples; relations 1..4: one each.
+  for (int i = 0; i < 50; ++i) {
+    train.push_back({static_cast<EntityId>(i % 10), 0,
+                     static_cast<EntityId>((i + 1) % 10)});
+  }
+  for (RelationId r = 1; r < 5; ++r) train.push_back({0, r, 1});
+  const Dataset ds(10, 5, std::move(train), {}, {});
+  const DatasetStats stats = compute_statistics(ds);
+  EXPECT_GT(stats.relation_gini, 0.5);
+}
+
+TEST(Statistics, SyntheticGraphsAreSkewed) {
+  // The generator must reproduce the skew structure the strategies rely on.
+  SyntheticSpec spec;
+  spec.num_entities = 500;
+  spec.num_relations = 50;
+  spec.num_triples = 8000;
+  spec.num_latent_types = 8;
+  spec.seed = 3;
+  const DatasetStats stats = compute_statistics(generate_synthetic(spec));
+  EXPECT_GT(stats.relation_gini, 0.3);
+  EXPECT_GT(stats.entity_gini, 0.2);
+  EXPECT_GT(stats.max_relation_count, 10 * stats.mean_relation_count / 2);
+}
+
+TEST(Statistics, EmptyTrainSplit) {
+  const Dataset ds(4, 2, {}, {{0, 0, 1}}, {{1, 1, 2}});
+  const DatasetStats stats = compute_statistics(ds);
+  EXPECT_EQ(stats.train_triples, 0u);
+  EXPECT_EQ(stats.entities_used, 0u);
+  EXPECT_EQ(stats.relations_used, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_entity_degree, 0.0);
+  EXPECT_DOUBLE_EQ(stats.relation_gini, 0.0);
+}
+
+TEST(Statistics, SelfLoopCountsDegreeTwice) {
+  const Dataset ds(3, 1, {{1, 0, 1}}, {}, {});
+  const DatasetStats stats = compute_statistics(ds);
+  EXPECT_EQ(stats.max_entity_degree, 2u);
+  EXPECT_EQ(stats.entities_used, 1u);
+}
+
+TEST(Statistics, UnusedVocabularyNotCounted) {
+  // 100 entities declared, only 3 used.
+  const Dataset ds(100, 10, {{0, 0, 1}, {1, 0, 2}}, {}, {});
+  const DatasetStats stats = compute_statistics(ds);
+  EXPECT_EQ(stats.entities_used, 3u);
+  EXPECT_EQ(stats.relations_used, 1u);
+}
+
+TEST(Statistics, SummaryMentionsKeyNumbers) {
+  const Dataset ds(4, 1, {{0, 0, 1}}, {}, {});
+  const std::string text = compute_statistics(ds).summary();
+  EXPECT_NE(text.find("1 train"), std::string::npos);
+  EXPECT_NE(text.find("relation cardinality"), std::string::npos);
+}
+
+TEST(Statistics, CardinalityNames) {
+  EXPECT_STREQ(to_string(RelationCardinality::kOneToOne), "1-1");
+  EXPECT_STREQ(to_string(RelationCardinality::kOneToMany), "1-N");
+  EXPECT_STREQ(to_string(RelationCardinality::kManyToOne), "N-1");
+  EXPECT_STREQ(to_string(RelationCardinality::kManyToMany), "N-N");
+}
+
+}  // namespace
+}  // namespace dynkge::kge

@@ -1,0 +1,68 @@
+#include "core/strategy_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynkge::core {
+namespace {
+
+TEST(StrategyConfig, DefaultIsPlainAllReduce) {
+  const StrategyConfig config;
+  EXPECT_EQ(config.comm, CommMode::kAllReduce);
+  EXPECT_EQ(config.selection, SelectionMode::kNone);
+  EXPECT_EQ(config.quant, QuantMode::kNone);
+  EXPECT_FALSE(config.relation_partition);
+  EXPECT_FALSE(config.sample_selection_active());
+}
+
+TEST(StrategyConfig, PresetBaselines) {
+  const auto ar = StrategyConfig::baseline_allreduce(10);
+  EXPECT_EQ(ar.comm, CommMode::kAllReduce);
+  EXPECT_EQ(ar.negatives_sampled, 10);
+  EXPECT_EQ(ar.negatives_used, 10);
+  EXPECT_FALSE(ar.sample_selection_active());
+
+  const auto ag = StrategyConfig::baseline_allgather(1);
+  EXPECT_EQ(ag.comm, CommMode::kAllGather);
+}
+
+TEST(StrategyConfig, RsPresetsUseBernoulliSelection) {
+  EXPECT_EQ(StrategyConfig::rs().selection, SelectionMode::kBernoulli);
+  EXPECT_EQ(StrategyConfig::rs().comm, CommMode::kAllGather);
+  EXPECT_EQ(StrategyConfig::drs().comm, CommMode::kDynamic);
+  EXPECT_EQ(StrategyConfig::rs_1bit().quant, QuantMode::kOneBit);
+  EXPECT_EQ(StrategyConfig::drs_1bit().quant, QuantMode::kOneBit);
+}
+
+TEST(StrategyConfig, CombinedPresetEnablesEverything) {
+  const auto full = StrategyConfig::drs_1bit_rp_ss(10, 1);
+  EXPECT_EQ(full.comm, CommMode::kDynamic);
+  EXPECT_EQ(full.selection, SelectionMode::kBernoulli);
+  EXPECT_EQ(full.quant, QuantMode::kOneBit);
+  EXPECT_TRUE(full.relation_partition);
+  EXPECT_EQ(full.negatives_sampled, 10);
+  EXPECT_EQ(full.negatives_used, 1);
+  EXPECT_TRUE(full.sample_selection_active());
+}
+
+TEST(StrategyConfig, LabelsMatchPaperNomenclature) {
+  EXPECT_EQ(StrategyConfig::baseline_allreduce().label(), "allreduce");
+  EXPECT_EQ(StrategyConfig::baseline_allgather().label(), "allgather");
+  EXPECT_EQ(StrategyConfig::rs().label(), "RS");
+  EXPECT_EQ(StrategyConfig::drs().label(), "DRS");
+  EXPECT_EQ(StrategyConfig::rs_1bit().label(), "RS+1-bit");
+  EXPECT_EQ(StrategyConfig::drs_1bit().label(), "DRS+1-bit");
+  EXPECT_EQ(StrategyConfig::rs_1bit_rp_ss(10).label(), "RS+1-bit+RP+SS");
+  EXPECT_EQ(StrategyConfig::drs_1bit_rp_ss(5).label(), "DRS+1-bit+RP+SS");
+}
+
+TEST(StrategyConfig, EnumNames) {
+  EXPECT_STREQ(to_string(CommMode::kDynamic), "dynamic");
+  EXPECT_STREQ(to_string(SelectionMode::kBernoulli), "random-selection");
+  EXPECT_STREQ(to_string(SelectionMode::kAverageTenth), "averagex0.1");
+  EXPECT_STREQ(to_string(QuantMode::kOneBit), "1-bit");
+  EXPECT_STREQ(to_string(OneBitScale::kMax), "max");
+  EXPECT_STREQ(to_string(OneBitScale::kNegMean), "negavg");
+}
+
+}  // namespace
+}  // namespace dynkge::core

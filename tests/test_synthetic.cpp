@@ -1,0 +1,141 @@
+#include "kge/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace dynkge::kge {
+namespace {
+
+SyntheticSpec small_spec() {
+  SyntheticSpec spec;
+  spec.num_entities = 300;
+  spec.num_relations = 24;
+  spec.num_triples = 5000;
+  spec.num_latent_types = 6;
+  spec.seed = 42;
+  return spec;
+}
+
+TEST(Synthetic, Deterministic) {
+  const Dataset a = generate_synthetic(small_spec());
+  const Dataset b = generate_synthetic(small_spec());
+  ASSERT_EQ(a.train().size(), b.train().size());
+  ASSERT_EQ(a.valid().size(), b.valid().size());
+  for (std::size_t i = 0; i < a.train().size(); ++i) {
+    EXPECT_EQ(a.train()[i], b.train()[i]);
+  }
+}
+
+TEST(Synthetic, SeedChangesOutput) {
+  SyntheticSpec spec = small_spec();
+  const Dataset a = generate_synthetic(spec);
+  spec.seed = 43;
+  const Dataset b = generate_synthetic(spec);
+  bool any_difference = a.train().size() != b.train().size();
+  for (std::size_t i = 0;
+       !any_difference && i < std::min(a.train().size(), b.train().size());
+       ++i) {
+    any_difference = !(a.train()[i] == b.train()[i]);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Synthetic, ReachesRequestedScale) {
+  const Dataset ds = generate_synthetic(small_spec());
+  // Dedup and the attempt cap may fall slightly short; demand 90%.
+  EXPECT_GE(ds.num_facts(), small_spec().num_triples * 9 / 10);
+  EXPECT_EQ(ds.num_entities(), small_spec().num_entities);
+  EXPECT_EQ(ds.num_relations(), small_spec().num_relations);
+}
+
+TEST(Synthetic, NoDuplicateFacts) {
+  const Dataset ds = generate_synthetic(small_spec());
+  std::set<std::uint64_t> keys;
+  for (const std::span<const Triple> split :
+       {ds.train(), ds.valid(), ds.test()}) {
+    for (const Triple& t : split) {
+      EXPECT_TRUE(keys.insert(pack_triple(t)).second)
+          << "duplicate triple across splits";
+    }
+  }
+}
+
+TEST(Synthetic, ValidTestEntitiesAppearInTrain) {
+  const Dataset ds = generate_synthetic(small_spec());
+  std::vector<bool> entity_in_train(ds.num_entities(), false);
+  std::vector<bool> relation_in_train(ds.num_relations(), false);
+  for (const Triple& t : ds.train()) {
+    entity_in_train[t.head] = true;
+    entity_in_train[t.tail] = true;
+    relation_in_train[t.relation] = true;
+  }
+  for (const std::span<const Triple> split : {ds.valid(), ds.test()}) {
+    for (const Triple& t : split) {
+      EXPECT_TRUE(entity_in_train[t.head]);
+      EXPECT_TRUE(entity_in_train[t.tail]);
+      EXPECT_TRUE(relation_in_train[t.relation]);
+    }
+  }
+}
+
+TEST(Synthetic, SplitFractionsRoughlyHonored) {
+  const Dataset ds = generate_synthetic(small_spec());
+  const auto total = static_cast<double>(ds.num_facts());
+  // Forced-to-train first occurrences shrink valid/test somewhat.
+  EXPECT_GT(ds.valid().size(), total * 0.005);
+  EXPECT_LT(ds.valid().size(), total * 0.04);
+  EXPECT_GT(ds.test().size(), total * 0.005);
+  EXPECT_LT(ds.test().size(), total * 0.04);
+}
+
+TEST(Synthetic, RelationFrequencyIsSkewed) {
+  const Dataset ds = generate_synthetic(small_spec());
+  std::vector<std::size_t> counts(ds.num_relations(), 0);
+  for (const Triple& t : ds.train()) ++counts[t.relation];
+  std::sort(counts.rbegin(), counts.rend());
+  // Zipf-ish: the busiest relation should dwarf the median one.
+  EXPECT_GT(counts.front(), 4 * std::max<std::size_t>(1, counts[counts.size() / 2]));
+}
+
+TEST(Synthetic, EntityPopularityIsSkewed) {
+  const Dataset ds = generate_synthetic(small_spec());
+  std::vector<std::size_t> degree(ds.num_entities(), 0);
+  for (const Triple& t : ds.train()) {
+    ++degree[t.head];
+    ++degree[t.tail];
+  }
+  std::sort(degree.rbegin(), degree.rend());
+  EXPECT_GT(degree.front(), 3 * std::max<std::size_t>(1, degree[degree.size() / 2]));
+}
+
+TEST(Synthetic, PresetSpecsAreConsistent) {
+  for (const SyntheticSpec& spec :
+       {SyntheticSpec::fb15k_mini(), SyntheticSpec::fb250k_mini()}) {
+    EXPECT_GT(spec.num_entities, 0);
+    EXPECT_GT(spec.num_relations, 0);
+    EXPECT_GT(spec.num_triples, 0u);
+    EXPECT_LE(spec.num_latent_types, spec.num_entities);
+  }
+  EXPECT_EQ(SyntheticSpec::fb15k_full().num_entities, 14951);
+  EXPECT_EQ(SyntheticSpec::fb15k_full().num_relations, 1345);
+  EXPECT_EQ(SyntheticSpec::fb250k_full().num_entities, 240000);
+  EXPECT_EQ(SyntheticSpec::fb250k_full().num_relations, 9280);
+}
+
+TEST(Synthetic, RejectsBadSpecs) {
+  SyntheticSpec spec = small_spec();
+  spec.num_triples = 0;
+  EXPECT_THROW(generate_synthetic(spec), std::invalid_argument);
+  spec = small_spec();
+  spec.num_latent_types = 0;
+  EXPECT_THROW(generate_synthetic(spec), std::invalid_argument);
+  spec = small_spec();
+  spec.num_latent_types = spec.num_entities + 1;
+  EXPECT_THROW(generate_synthetic(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dynkge::kge

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dynkge::util {
+namespace {
+
+TEST(Table, TextLayout) {
+  Table t({"nodes", "TT", "MRR"});
+  t.begin_row().add(1).add(3.26, 2).add(0.59, 2);
+  t.begin_row().add(2).add(1.27, 2).add(0.57, 2);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("nodes"), std::string::npos);
+  EXPECT_NE(text.find("3.26"), std::string::npos);
+  EXPECT_NE(text.find("0.57"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvLayout) {
+  Table t({"a", "b"});
+  t.begin_row().add(std::string("x")).add(std::int64_t{42});
+  EXPECT_EQ(t.to_csv(), "a,b\nx,42\n");
+}
+
+TEST(Table, NumRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.begin_row().add(1);
+  t.begin_row().add(2);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, AddWithoutBeginRowStartsRow) {
+  Table t({"a"});
+  t.add(std::string("v"));
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Table, PrintIncludesCaption) {
+  Table t({"a"});
+  t.begin_row().add(7);
+  std::ostringstream os;
+  t.print(os, "Table 1: demo");
+  EXPECT_NE(os.str().find("Table 1: demo"), std::string::npos);
+  EXPECT_NE(os.str().find("7"), std::string::npos);
+}
+
+TEST(Table, RaggedRowsRenderSafely) {
+  Table t({"a", "b", "c"});
+  t.begin_row().add(1);  // fewer cells than headers
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynkge::util

@@ -1,0 +1,135 @@
+#include "kge/tsv_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace dynkge::kge {
+namespace {
+
+class TsvLoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dynkge_loader_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void write(const std::string& name, const std::string& content) {
+    std::ofstream out(dir_ / name);
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TsvLoaderTest, LoadsOpenKeFormat) {
+  write("entity2id.txt", "4\n/m/a\t0\n/m/b\t1\n/m/c\t2\n/m/d\t3\n");
+  write("relation2id.txt", "2\nr0\t0\nr1\t1\n");
+  // OpenKE triple order: head tail relation.
+  write("train2id.txt", "2\n0 1 0\n1 2 1\n");
+  write("valid2id.txt", "1\n2 3 0\n");
+  write("test2id.txt", "1\n3 0 1\n");
+
+  const Dataset ds = load_openke(dir_.string());
+  EXPECT_EQ(ds.num_entities(), 4);
+  EXPECT_EQ(ds.num_relations(), 2);
+  ASSERT_EQ(ds.train().size(), 2u);
+  EXPECT_EQ(ds.train()[0], (Triple{0, 0, 1}));
+  EXPECT_EQ(ds.train()[1], (Triple{1, 1, 2}));
+  EXPECT_EQ(ds.valid()[0], (Triple{2, 0, 3}));
+  EXPECT_EQ(ds.test()[0], (Triple{3, 1, 0}));
+}
+
+TEST_F(TsvLoaderTest, LoadsPlainTsv) {
+  write("train.txt", "delhi\tcapital_of\tindia\nparis\tcapital_of\tfrance\n");
+  write("valid.txt", "rome\tcapital_of\titaly\n");
+  write("test.txt", "delhi\tlocated_in\tindia\n");
+
+  const Dataset ds = load_tsv(dir_.string());
+  EXPECT_EQ(ds.num_entities(), 6);
+  EXPECT_EQ(ds.num_relations(), 2);
+  EXPECT_EQ(ds.train().size(), 2u);
+  EXPECT_EQ(ds.valid().size(), 1u);
+  EXPECT_EQ(ds.test().size(), 1u);
+  // delhi (id 0) appears in train and test with consistent ids.
+  EXPECT_EQ(ds.train()[0].head, ds.test()[0].head);
+}
+
+TEST_F(TsvLoaderTest, AutoDetectPrefersOpenKe) {
+  write("entity2id.txt", "2\na\t0\nb\t1\n");
+  write("relation2id.txt", "1\nr\t0\n");
+  write("train2id.txt", "1\n0 1 0\n");
+  write("valid2id.txt", "1\n1 0 0\n");
+  write("test2id.txt", "1\n0 0 0\n");
+  const Dataset ds = load_dataset(dir_.string());
+  EXPECT_EQ(ds.num_entities(), 2);
+}
+
+TEST_F(TsvLoaderTest, AutoDetectFallsBackToTsv) {
+  write("train.txt", "a\tr\tb\n");
+  write("valid.txt", "b\tr\ta\n");
+  write("test.txt", "a\tr\ta\n");
+  const Dataset ds = load_dataset(dir_.string());
+  EXPECT_EQ(ds.num_entities(), 2);
+  EXPECT_EQ(ds.num_relations(), 1);
+}
+
+TEST_F(TsvLoaderTest, MissingDirectoryThrows) {
+  EXPECT_THROW(load_dataset((dir_ / "nope").string()), std::runtime_error);
+}
+
+TEST_F(TsvLoaderTest, TruncatedOpenKeFileThrows) {
+  write("entity2id.txt", "2\na\t0\nb\t1\n");
+  write("relation2id.txt", "1\nr\t0\n");
+  write("train2id.txt", "3\n0 1 0\n");  // claims 3 triples, has 1
+  write("valid2id.txt", "0\n");
+  write("test2id.txt", "0\n");
+  EXPECT_THROW(load_openke(dir_.string()), std::runtime_error);
+}
+
+TEST_F(TsvLoaderTest, MalformedTsvLineThrows) {
+  write("train.txt", "only_two\tfields\n");
+  write("valid.txt", "");
+  write("test.txt", "");
+  EXPECT_THROW(load_tsv(dir_.string()), std::runtime_error);
+}
+
+TEST_F(TsvLoaderTest, SaveOpenKeRoundTrip) {
+  const Dataset original(5, 2, {{0, 0, 1}, {1, 1, 2}, {3, 0, 4}},
+                         {{2, 1, 0}}, {{4, 0, 3}});
+  const std::string out_dir = (dir_ / "exported").string();
+  save_openke(original, out_dir);
+  const Dataset loaded = load_dataset(out_dir);
+  EXPECT_EQ(loaded.num_entities(), 5);
+  EXPECT_EQ(loaded.num_relations(), 2);
+  ASSERT_EQ(loaded.train().size(), 3u);
+  for (std::size_t i = 0; i < loaded.train().size(); ++i) {
+    EXPECT_EQ(loaded.train()[i], original.train()[i]);
+  }
+  EXPECT_EQ(loaded.valid()[0], original.valid()[0]);
+  EXPECT_EQ(loaded.test()[0], original.test()[0]);
+}
+
+TEST_F(TsvLoaderTest, SaveOpenKeCreatesDirectory) {
+  const Dataset ds(2, 1, {{0, 0, 1}}, {{1, 0, 0}}, {{0, 0, 0}});
+  const std::string nested = (dir_ / "a" / "b").string();
+  save_openke(ds, nested);
+  EXPECT_TRUE(std::filesystem::exists(nested + "/train2id.txt"));
+}
+
+TEST_F(TsvLoaderTest, OutOfRangeIdsRejectedByDataset) {
+  write("entity2id.txt", "2\na\t0\nb\t1\n");
+  write("relation2id.txt", "1\nr\t0\n");
+  write("train2id.txt", "1\n0 9 0\n");  // tail 9 >= 2 entities
+  write("valid2id.txt", "0\n");
+  write("test2id.txt", "0\n");
+  EXPECT_THROW(load_openke(dir_.string()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dynkge::kge

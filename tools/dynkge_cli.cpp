@@ -1,0 +1,269 @@
+// dynkge — command-line interface to the library.
+//
+//   dynkge generate --preset fb15k_mini --out <dir>        write a synthetic
+//                                                          dataset (OpenKE)
+//   dynkge stats    --data <dir>                           dataset report
+//   dynkge train    --data <dir> | --preset <name>         train a model
+//                   [--strategy allreduce|allgather|ps|rs|rs1bit|drs|
+//                    drs1bit|full] [--nodes N] [--rank N] [--batch N]
+//                   [--lr X] [--tolerance N] [--max-epochs N] [--seed N]
+//                   [--model complex|distmult|transe]
+//                   [--save-model file] [--report file.json]
+//   dynkge eval     --data <dir> --model-file <file>       evaluate a saved
+//                                                          model
+//   dynkge predict  --data <dir> --model-file <file>       top-k tails for
+//                   --head H --relation R [--topk K]       a query
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/distributed_eval.hpp"
+#include "core/hogwild_trainer.hpp"
+#include "core/report_json.hpp"
+#include "core/strategy_config.hpp"
+#include "core/trainer.hpp"
+#include "kge/serialize.hpp"
+#include "kge/statistics.hpp"
+#include "kge/synthetic.hpp"
+#include "kge/tsv_loader.hpp"
+#include "util/argparse.hpp"
+
+using namespace dynkge;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: dynkge <generate|stats|train|eval|predict> "
+               "[--flags]\n(see the header of tools/dynkge_cli.cpp)\n";
+  return 2;
+}
+
+kge::SyntheticSpec preset_by_name(const std::string& name) {
+  if (name == "fb15k_mini") return kge::SyntheticSpec::fb15k_mini();
+  if (name == "fb15k_full") return kge::SyntheticSpec::fb15k_full();
+  if (name == "fb250k_mini") return kge::SyntheticSpec::fb250k_mini();
+  if (name == "fb250k_full") return kge::SyntheticSpec::fb250k_full();
+  throw std::invalid_argument("unknown preset: " + name +
+                              " (expected fb15k_mini|fb15k_full|"
+                              "fb250k_mini|fb250k_full)");
+}
+
+kge::Dataset dataset_from_flags(const util::ArgParser& args) {
+  const std::string data_dir = args.get_string("data", "");
+  if (!data_dir.empty()) return kge::load_dataset(data_dir);
+  return kge::generate_synthetic(
+      preset_by_name(args.get_string("preset", "fb15k_mini")));
+}
+
+core::StrategyConfig strategy_by_name(const std::string& name,
+                                      int negatives, int ss_sampled) {
+  if (name == "allreduce") {
+    return core::StrategyConfig::baseline_allreduce(negatives);
+  }
+  if (name == "allgather") {
+    return core::StrategyConfig::baseline_allgather(negatives);
+  }
+  if (name == "ps" || name == "param-server") {
+    return core::StrategyConfig::baseline_parameter_server(negatives);
+  }
+  if (name == "rs") return core::StrategyConfig::rs(negatives);
+  if (name == "drs") return core::StrategyConfig::drs(negatives);
+  if (name == "rs1bit") return core::StrategyConfig::rs_1bit(negatives);
+  if (name == "drs1bit") return core::StrategyConfig::drs_1bit(negatives);
+  if (name == "full") {
+    return core::StrategyConfig::drs_1bit_rp_ss(ss_sampled, 1);
+  }
+  throw std::invalid_argument("unknown strategy: " + name);
+}
+
+int cmd_generate(const util::ArgParser& args) {
+  const std::string out = args.get_string("out", "");
+  if (out.empty()) {
+    std::cerr << "generate: --out <dir> is required\n";
+    return 2;
+  }
+  kge::SyntheticSpec spec =
+      preset_by_name(args.get_string("preset", "fb15k_mini"));
+  spec.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(spec.seed)));
+  const kge::Dataset dataset = kge::generate_synthetic(spec);
+  kge::save_openke(dataset, out);
+  std::cout << dataset.summary("generated") << "\nwritten to " << out
+            << " (OpenKE layout)\n";
+  return 0;
+}
+
+int cmd_stats(const util::ArgParser& args) {
+  const kge::Dataset dataset = dataset_from_flags(args);
+  std::cout << dataset.summary("dataset") << "\n"
+            << kge::compute_statistics(dataset).summary() << "\n";
+  return 0;
+}
+
+int cmd_train_hogwild(const util::ArgParser& args,
+                      const kge::Dataset& dataset) {
+  core::HogwildConfig config;
+  config.model_name = args.get_string("model", "complex");
+  config.embedding_rank =
+      static_cast<std::int32_t>(args.get_int("rank", 32));
+  config.num_threads = static_cast<int>(args.get_int("nodes", 4));
+  config.negatives = static_cast<int>(args.get_int("negatives", 4));
+  config.lr.base_lr = args.get_double("lr", 0.05);
+  config.lr.max_scale = 1;
+  config.lr.tolerance = static_cast<int>(args.get_int("tolerance", 15));
+  config.max_epochs = static_cast<int>(args.get_int("max-epochs", 200));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
+
+  std::cout << "training hogwild (" << config.model_name << ", rank "
+            << config.embedding_rank << ") on " << config.num_threads
+            << " shared-memory threads...\n";
+  const auto report = core::HogwildTrainer(dataset, config).train();
+  std::cout << "epochs: " << report.epochs
+            << "  cpu: " << report.total_cpu_seconds << " s"
+            << "  TCA: " << report.tca << " %"
+            << "  MRR: " << report.ranking.mrr << "\n";
+  const std::string model_path = args.get_string("save-model", "");
+  if (!model_path.empty()) {
+    kge::save_model(*report.model, model_path);
+    std::cout << "model written to " << model_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_train(const util::ArgParser& args) {
+  const kge::Dataset dataset = dataset_from_flags(args);
+  std::cout << dataset.summary("dataset") << "\n";
+
+  if (args.get_string("trainer", "distributed") == "hogwild") {
+    return cmd_train_hogwild(args, dataset);
+  }
+
+  core::TrainConfig config;
+  config.model_name = args.get_string("model", "complex");
+  config.embedding_rank =
+      static_cast<std::int32_t>(args.get_int("rank", 32));
+  config.num_nodes = static_cast<int>(args.get_int("nodes", 4));
+  config.batch_size =
+      static_cast<std::size_t>(args.get_int("batch", 1000));
+  config.lr.base_lr = args.get_double("lr", 0.01);
+  config.lr.tolerance = static_cast<int>(args.get_int("tolerance", 15));
+  config.max_epochs = static_cast<int>(args.get_int("max-epochs", 200));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
+  const int negatives = static_cast<int>(args.get_int("negatives", 4));
+  config.strategy = strategy_by_name(
+      args.get_string("strategy", "full"), negatives,
+      static_cast<int>(args.get_int("ss-sampled", 8)));
+
+  std::cout << "training " << config.strategy.label() << " ("
+            << config.model_name << ", rank " << config.embedding_rank
+            << ") on " << config.num_nodes << " simulated nodes...\n";
+  const auto report = core::DistributedTrainer(dataset, config).train();
+  std::cout << "epochs: " << report.epochs
+            << "  TT(sim): " << report.total_sim_seconds << " s"
+            << "  TCA: " << report.tca << " %"
+            << "  MRR: " << report.ranking.mrr << "\n";
+
+  const std::string model_path = args.get_string("save-model", "");
+  if (!model_path.empty()) {
+    kge::save_model(*report.model, model_path);
+    std::cout << "model written to " << model_path << "\n";
+  }
+  const std::string report_path = args.get_string("report", "");
+  if (!report_path.empty()) {
+    core::write_report_json(report, report_path);
+    std::cout << "report written to " << report_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_eval(const util::ArgParser& args) {
+  const std::string model_path = args.get_string("model-file", "");
+  if (model_path.empty()) {
+    std::cerr << "eval: --model-file <file> is required\n";
+    return 2;
+  }
+  const kge::Dataset dataset = dataset_from_flags(args);
+  const auto model = kge::load_model(model_path);
+  const kge::Evaluator evaluator(dataset);
+  kge::EvalOptions options;
+  options.max_triples =
+      static_cast<std::size_t>(args.get_int("max-triples", 0));
+  // --nodes > 1 shards the ranking across a simulated cluster (identical
+  // numbers, parallel wall time on multi-core hosts).
+  const int nodes = static_cast<int>(args.get_int("nodes", 1));
+  const auto metrics =
+      nodes > 1 ? core::distributed_link_prediction(*model, dataset,
+                                                    dataset.test(), nodes,
+                                                    options)
+                      .metrics
+                : evaluator.link_prediction(*model, dataset.test(), options);
+  std::cout << "model: " << model->name() << "\n"
+            << "filtered MRR: " << metrics.mrr
+            << "  mean rank: " << metrics.mean_rank
+            << "  Hits@1/3/10: " << metrics.hits1 << " / " << metrics.hits3
+            << " / " << metrics.hits10 << "\n"
+            << "TCA: " << evaluator.triple_classification_accuracy(*model)
+            << " %\n";
+  return 0;
+}
+
+int cmd_predict(const util::ArgParser& args) {
+  const std::string model_path = args.get_string("model-file", "");
+  if (model_path.empty()) {
+    std::cerr << "predict: --model-file <file> is required\n";
+    return 2;
+  }
+  const kge::Dataset dataset = dataset_from_flags(args);
+  const auto model = kge::load_model(model_path);
+  const auto head = static_cast<kge::EntityId>(args.get_int("head", 0));
+  const auto relation =
+      static_cast<kge::RelationId>(args.get_int("relation", 0));
+  const int topk = static_cast<int>(args.get_int("topk", 10));
+  if (head < 0 || head >= dataset.num_entities() || relation < 0 ||
+      relation >= dataset.num_relations()) {
+    std::cerr << "predict: --head/--relation out of range\n";
+    return 2;
+  }
+
+  std::vector<double> scores(model->num_entities());
+  model->score_all_tails(head, relation, scores);
+  std::vector<kge::EntityId> order(model->num_entities());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<kge::EntityId>(i);
+  }
+  const int k = std::min<int>(topk, static_cast<int>(order.size()));
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](kge::EntityId a, kge::EntityId b) {
+                      return scores[a] > scores[b];
+                    });
+  std::cout << "top-" << k << " tails for (e" << head << ", r" << relation
+            << ", ?):\n";
+  for (int i = 0; i < k; ++i) {
+    std::cout << "  e" << order[i] << "  score " << scores[order[i]]
+              << (dataset.contains(head, relation, order[i])
+                      ? "  [known fact]"
+                      : "")
+              << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const util::ArgParser args(argc - 1, argv + 1);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "eval") return cmd_eval(args);
+    if (command == "predict") return cmd_predict(args);
+  } catch (const std::exception& error) {
+    std::cerr << "dynkge " << command << ": " << error.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
