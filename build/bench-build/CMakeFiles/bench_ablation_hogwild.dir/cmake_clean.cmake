@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_hogwild"
+  "../bench/bench_ablation_hogwild.pdb"
+  "CMakeFiles/bench_ablation_hogwild.dir/bench_ablation_hogwild.cpp.o"
+  "CMakeFiles/bench_ablation_hogwild.dir/bench_ablation_hogwild.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hogwild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

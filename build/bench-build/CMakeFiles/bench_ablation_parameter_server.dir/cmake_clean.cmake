@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_parameter_server"
+  "../bench/bench_ablation_parameter_server.pdb"
+  "CMakeFiles/bench_ablation_parameter_server.dir/bench_ablation_parameter_server.cpp.o"
+  "CMakeFiles/bench_ablation_parameter_server.dir/bench_ablation_parameter_server.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parameter_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

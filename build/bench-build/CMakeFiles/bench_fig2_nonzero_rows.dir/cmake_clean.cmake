@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_nonzero_rows"
+  "../bench/bench_fig2_nonzero_rows.pdb"
+  "CMakeFiles/bench_fig2_nonzero_rows.dir/bench_fig2_nonzero_rows.cpp.o"
+  "CMakeFiles/bench_fig2_nonzero_rows.dir/bench_fig2_nonzero_rows.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_nonzero_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_selection_thresholds"
+  "../bench/bench_fig3_selection_thresholds.pdb"
+  "CMakeFiles/bench_fig3_selection_thresholds.dir/bench_fig3_selection_thresholds.cpp.o"
+  "CMakeFiles/bench_fig3_selection_thresholds.dir/bench_fig3_selection_thresholds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_selection_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_2bit_random_selection.
+# This may be replaced when dependencies are built.

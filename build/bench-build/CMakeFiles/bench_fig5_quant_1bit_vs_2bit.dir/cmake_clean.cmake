@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_quant_1bit_vs_2bit"
+  "../bench/bench_fig5_quant_1bit_vs_2bit.pdb"
+  "CMakeFiles/bench_fig5_quant_1bit_vs_2bit.dir/bench_fig5_quant_1bit_vs_2bit.cpp.o"
+  "CMakeFiles/bench_fig5_quant_1bit_vs_2bit.dir/bench_fig5_quant_1bit_vs_2bit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_quant_1bit_vs_2bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

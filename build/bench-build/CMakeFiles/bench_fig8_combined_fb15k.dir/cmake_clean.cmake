@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_combined_fb15k"
+  "../bench/bench_fig8_combined_fb15k.pdb"
+  "CMakeFiles/bench_fig8_combined_fb15k.dir/bench_fig8_combined_fb15k.cpp.o"
+  "CMakeFiles/bench_fig8_combined_fb15k.dir/bench_fig8_combined_fb15k.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_combined_fb15k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_combined_fb250k"
+  "../bench/bench_fig9_combined_fb250k.pdb"
+  "CMakeFiles/bench_fig9_combined_fb250k.dir/bench_fig9_combined_fb250k.cpp.o"
+  "CMakeFiles/bench_fig9_combined_fb250k.dir/bench_fig9_combined_fb250k.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_combined_fb250k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_quantize.cpp" "bench-build/CMakeFiles/bench_micro_quantize.dir/bench_micro_quantize.cpp.o" "gcc" "bench-build/CMakeFiles/bench_micro_quantize.dir/bench_micro_quantize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dynkge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kge/CMakeFiles/dynkge_kge.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dynkge_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dynkge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_quantize"
+  "../bench/bench_micro_quantize.pdb"
+  "CMakeFiles/bench_micro_quantize.dir/bench_micro_quantize.cpp.o"
+  "CMakeFiles/bench_micro_quantize.dir/bench_micro_quantize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_quantize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

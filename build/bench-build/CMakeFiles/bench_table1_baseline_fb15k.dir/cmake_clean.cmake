@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_baseline_fb15k"
+  "../bench/bench_table1_baseline_fb15k.pdb"
+  "CMakeFiles/bench_table1_baseline_fb15k.dir/bench_table1_baseline_fb15k.cpp.o"
+  "CMakeFiles/bench_table1_baseline_fb15k.dir/bench_table1_baseline_fb15k.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_baseline_fb15k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

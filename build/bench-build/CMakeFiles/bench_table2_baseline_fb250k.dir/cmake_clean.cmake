@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_baseline_fb250k"
+  "../bench/bench_table2_baseline_fb250k.pdb"
+  "CMakeFiles/bench_table2_baseline_fb250k.dir/bench_table2_baseline_fb250k.cpp.o"
+  "CMakeFiles/bench_table2_baseline_fb250k.dir/bench_table2_baseline_fb250k.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_baseline_fb250k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

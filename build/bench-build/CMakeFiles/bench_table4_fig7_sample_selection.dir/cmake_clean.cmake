@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_fig7_sample_selection"
+  "../bench/bench_table4_fig7_sample_selection.pdb"
+  "CMakeFiles/bench_table4_fig7_sample_selection.dir/bench_table4_fig7_sample_selection.cpp.o"
+  "CMakeFiles/bench_table4_fig7_sample_selection.dir/bench_table4_fig7_sample_selection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fig7_sample_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynkge_bench_harness.dir/harness/harness.cpp.o"
+  "CMakeFiles/dynkge_bench_harness.dir/harness/harness.cpp.o.d"
+  "libdynkge_bench_harness.a"
+  "libdynkge_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynkge_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_knowledge_base.dir/movie_knowledge_base.cpp.o"
+  "CMakeFiles/movie_knowledge_base.dir/movie_knowledge_base.cpp.o.d"
+  "movie_knowledge_base"
+  "movie_knowledge_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_knowledge_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynkge_comm.dir/communicator.cpp.o"
+  "CMakeFiles/dynkge_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/dynkge_comm.dir/cost_model.cpp.o"
+  "CMakeFiles/dynkge_comm.dir/cost_model.cpp.o.d"
+  "libdynkge_comm.a"
+  "libdynkge_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynkge_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

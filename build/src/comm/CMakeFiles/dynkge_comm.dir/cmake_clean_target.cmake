@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdynkge_comm.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comm_selector.cpp" "src/core/CMakeFiles/dynkge_core.dir/comm_selector.cpp.o" "gcc" "src/core/CMakeFiles/dynkge_core.dir/comm_selector.cpp.o.d"
+  "/root/repo/src/core/distributed_eval.cpp" "src/core/CMakeFiles/dynkge_core.dir/distributed_eval.cpp.o" "gcc" "src/core/CMakeFiles/dynkge_core.dir/distributed_eval.cpp.o.d"
+  "/root/repo/src/core/grad_exchange.cpp" "src/core/CMakeFiles/dynkge_core.dir/grad_exchange.cpp.o" "gcc" "src/core/CMakeFiles/dynkge_core.dir/grad_exchange.cpp.o.d"
+  "/root/repo/src/core/grad_select.cpp" "src/core/CMakeFiles/dynkge_core.dir/grad_select.cpp.o" "gcc" "src/core/CMakeFiles/dynkge_core.dir/grad_select.cpp.o.d"
+  "/root/repo/src/core/hard_negatives.cpp" "src/core/CMakeFiles/dynkge_core.dir/hard_negatives.cpp.o" "gcc" "src/core/CMakeFiles/dynkge_core.dir/hard_negatives.cpp.o.d"
+  "/root/repo/src/core/hogwild_trainer.cpp" "src/core/CMakeFiles/dynkge_core.dir/hogwild_trainer.cpp.o" "gcc" "src/core/CMakeFiles/dynkge_core.dir/hogwild_trainer.cpp.o.d"
+  "/root/repo/src/core/quant_analysis.cpp" "src/core/CMakeFiles/dynkge_core.dir/quant_analysis.cpp.o" "gcc" "src/core/CMakeFiles/dynkge_core.dir/quant_analysis.cpp.o.d"
+  "/root/repo/src/core/quantize.cpp" "src/core/CMakeFiles/dynkge_core.dir/quantize.cpp.o" "gcc" "src/core/CMakeFiles/dynkge_core.dir/quantize.cpp.o.d"
+  "/root/repo/src/core/relation_partition.cpp" "src/core/CMakeFiles/dynkge_core.dir/relation_partition.cpp.o" "gcc" "src/core/CMakeFiles/dynkge_core.dir/relation_partition.cpp.o.d"
+  "/root/repo/src/core/report_json.cpp" "src/core/CMakeFiles/dynkge_core.dir/report_json.cpp.o" "gcc" "src/core/CMakeFiles/dynkge_core.dir/report_json.cpp.o.d"
+  "/root/repo/src/core/strategy_config.cpp" "src/core/CMakeFiles/dynkge_core.dir/strategy_config.cpp.o" "gcc" "src/core/CMakeFiles/dynkge_core.dir/strategy_config.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/dynkge_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/dynkge_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kge/CMakeFiles/dynkge_kge.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dynkge_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dynkge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynkge_core.dir/comm_selector.cpp.o"
+  "CMakeFiles/dynkge_core.dir/comm_selector.cpp.o.d"
+  "CMakeFiles/dynkge_core.dir/distributed_eval.cpp.o"
+  "CMakeFiles/dynkge_core.dir/distributed_eval.cpp.o.d"
+  "CMakeFiles/dynkge_core.dir/grad_exchange.cpp.o"
+  "CMakeFiles/dynkge_core.dir/grad_exchange.cpp.o.d"
+  "CMakeFiles/dynkge_core.dir/grad_select.cpp.o"
+  "CMakeFiles/dynkge_core.dir/grad_select.cpp.o.d"
+  "CMakeFiles/dynkge_core.dir/hard_negatives.cpp.o"
+  "CMakeFiles/dynkge_core.dir/hard_negatives.cpp.o.d"
+  "CMakeFiles/dynkge_core.dir/hogwild_trainer.cpp.o"
+  "CMakeFiles/dynkge_core.dir/hogwild_trainer.cpp.o.d"
+  "CMakeFiles/dynkge_core.dir/quant_analysis.cpp.o"
+  "CMakeFiles/dynkge_core.dir/quant_analysis.cpp.o.d"
+  "CMakeFiles/dynkge_core.dir/quantize.cpp.o"
+  "CMakeFiles/dynkge_core.dir/quantize.cpp.o.d"
+  "CMakeFiles/dynkge_core.dir/relation_partition.cpp.o"
+  "CMakeFiles/dynkge_core.dir/relation_partition.cpp.o.d"
+  "CMakeFiles/dynkge_core.dir/report_json.cpp.o"
+  "CMakeFiles/dynkge_core.dir/report_json.cpp.o.d"
+  "CMakeFiles/dynkge_core.dir/strategy_config.cpp.o"
+  "CMakeFiles/dynkge_core.dir/strategy_config.cpp.o.d"
+  "CMakeFiles/dynkge_core.dir/trainer.cpp.o"
+  "CMakeFiles/dynkge_core.dir/trainer.cpp.o.d"
+  "libdynkge_core.a"
+  "libdynkge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynkge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

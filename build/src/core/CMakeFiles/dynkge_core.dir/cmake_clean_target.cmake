@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdynkge_core.a"
+)

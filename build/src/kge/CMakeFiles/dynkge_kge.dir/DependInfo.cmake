@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kge/adam.cpp" "src/kge/CMakeFiles/dynkge_kge.dir/adam.cpp.o" "gcc" "src/kge/CMakeFiles/dynkge_kge.dir/adam.cpp.o.d"
+  "/root/repo/src/kge/complex_model.cpp" "src/kge/CMakeFiles/dynkge_kge.dir/complex_model.cpp.o" "gcc" "src/kge/CMakeFiles/dynkge_kge.dir/complex_model.cpp.o.d"
+  "/root/repo/src/kge/dataset.cpp" "src/kge/CMakeFiles/dynkge_kge.dir/dataset.cpp.o" "gcc" "src/kge/CMakeFiles/dynkge_kge.dir/dataset.cpp.o.d"
+  "/root/repo/src/kge/distmult_model.cpp" "src/kge/CMakeFiles/dynkge_kge.dir/distmult_model.cpp.o" "gcc" "src/kge/CMakeFiles/dynkge_kge.dir/distmult_model.cpp.o.d"
+  "/root/repo/src/kge/evaluator.cpp" "src/kge/CMakeFiles/dynkge_kge.dir/evaluator.cpp.o" "gcc" "src/kge/CMakeFiles/dynkge_kge.dir/evaluator.cpp.o.d"
+  "/root/repo/src/kge/graph_builder.cpp" "src/kge/CMakeFiles/dynkge_kge.dir/graph_builder.cpp.o" "gcc" "src/kge/CMakeFiles/dynkge_kge.dir/graph_builder.cpp.o.d"
+  "/root/repo/src/kge/model.cpp" "src/kge/CMakeFiles/dynkge_kge.dir/model.cpp.o" "gcc" "src/kge/CMakeFiles/dynkge_kge.dir/model.cpp.o.d"
+  "/root/repo/src/kge/model_factory.cpp" "src/kge/CMakeFiles/dynkge_kge.dir/model_factory.cpp.o" "gcc" "src/kge/CMakeFiles/dynkge_kge.dir/model_factory.cpp.o.d"
+  "/root/repo/src/kge/negative_sampler.cpp" "src/kge/CMakeFiles/dynkge_kge.dir/negative_sampler.cpp.o" "gcc" "src/kge/CMakeFiles/dynkge_kge.dir/negative_sampler.cpp.o.d"
+  "/root/repo/src/kge/rotate_model.cpp" "src/kge/CMakeFiles/dynkge_kge.dir/rotate_model.cpp.o" "gcc" "src/kge/CMakeFiles/dynkge_kge.dir/rotate_model.cpp.o.d"
+  "/root/repo/src/kge/serialize.cpp" "src/kge/CMakeFiles/dynkge_kge.dir/serialize.cpp.o" "gcc" "src/kge/CMakeFiles/dynkge_kge.dir/serialize.cpp.o.d"
+  "/root/repo/src/kge/statistics.cpp" "src/kge/CMakeFiles/dynkge_kge.dir/statistics.cpp.o" "gcc" "src/kge/CMakeFiles/dynkge_kge.dir/statistics.cpp.o.d"
+  "/root/repo/src/kge/synthetic.cpp" "src/kge/CMakeFiles/dynkge_kge.dir/synthetic.cpp.o" "gcc" "src/kge/CMakeFiles/dynkge_kge.dir/synthetic.cpp.o.d"
+  "/root/repo/src/kge/transe_model.cpp" "src/kge/CMakeFiles/dynkge_kge.dir/transe_model.cpp.o" "gcc" "src/kge/CMakeFiles/dynkge_kge.dir/transe_model.cpp.o.d"
+  "/root/repo/src/kge/tsv_loader.cpp" "src/kge/CMakeFiles/dynkge_kge.dir/tsv_loader.cpp.o" "gcc" "src/kge/CMakeFiles/dynkge_kge.dir/tsv_loader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dynkge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynkge_kge.dir/adam.cpp.o"
+  "CMakeFiles/dynkge_kge.dir/adam.cpp.o.d"
+  "CMakeFiles/dynkge_kge.dir/complex_model.cpp.o"
+  "CMakeFiles/dynkge_kge.dir/complex_model.cpp.o.d"
+  "CMakeFiles/dynkge_kge.dir/dataset.cpp.o"
+  "CMakeFiles/dynkge_kge.dir/dataset.cpp.o.d"
+  "CMakeFiles/dynkge_kge.dir/distmult_model.cpp.o"
+  "CMakeFiles/dynkge_kge.dir/distmult_model.cpp.o.d"
+  "CMakeFiles/dynkge_kge.dir/evaluator.cpp.o"
+  "CMakeFiles/dynkge_kge.dir/evaluator.cpp.o.d"
+  "CMakeFiles/dynkge_kge.dir/graph_builder.cpp.o"
+  "CMakeFiles/dynkge_kge.dir/graph_builder.cpp.o.d"
+  "CMakeFiles/dynkge_kge.dir/model.cpp.o"
+  "CMakeFiles/dynkge_kge.dir/model.cpp.o.d"
+  "CMakeFiles/dynkge_kge.dir/model_factory.cpp.o"
+  "CMakeFiles/dynkge_kge.dir/model_factory.cpp.o.d"
+  "CMakeFiles/dynkge_kge.dir/negative_sampler.cpp.o"
+  "CMakeFiles/dynkge_kge.dir/negative_sampler.cpp.o.d"
+  "CMakeFiles/dynkge_kge.dir/rotate_model.cpp.o"
+  "CMakeFiles/dynkge_kge.dir/rotate_model.cpp.o.d"
+  "CMakeFiles/dynkge_kge.dir/serialize.cpp.o"
+  "CMakeFiles/dynkge_kge.dir/serialize.cpp.o.d"
+  "CMakeFiles/dynkge_kge.dir/statistics.cpp.o"
+  "CMakeFiles/dynkge_kge.dir/statistics.cpp.o.d"
+  "CMakeFiles/dynkge_kge.dir/synthetic.cpp.o"
+  "CMakeFiles/dynkge_kge.dir/synthetic.cpp.o.d"
+  "CMakeFiles/dynkge_kge.dir/transe_model.cpp.o"
+  "CMakeFiles/dynkge_kge.dir/transe_model.cpp.o.d"
+  "CMakeFiles/dynkge_kge.dir/tsv_loader.cpp.o"
+  "CMakeFiles/dynkge_kge.dir/tsv_loader.cpp.o.d"
+  "libdynkge_kge.a"
+  "libdynkge_kge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynkge_kge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynkge_util.dir/argparse.cpp.o"
+  "CMakeFiles/dynkge_util.dir/argparse.cpp.o.d"
+  "CMakeFiles/dynkge_util.dir/logging.cpp.o"
+  "CMakeFiles/dynkge_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dynkge_util.dir/table.cpp.o"
+  "CMakeFiles/dynkge_util.dir/table.cpp.o.d"
+  "libdynkge_util.a"
+  "libdynkge_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynkge_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

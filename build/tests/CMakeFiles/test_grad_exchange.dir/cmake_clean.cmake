@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grad_exchange.dir/test_grad_exchange.cpp.o"
+  "CMakeFiles/test_grad_exchange.dir/test_grad_exchange.cpp.o.d"
+  "test_grad_exchange"
+  "test_grad_exchange.pdb"
+  "test_grad_exchange[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grad_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

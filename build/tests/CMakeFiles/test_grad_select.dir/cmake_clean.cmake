@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grad_select.dir/test_grad_select.cpp.o"
+  "CMakeFiles/test_grad_select.dir/test_grad_select.cpp.o.d"
+  "test_grad_select"
+  "test_grad_select.pdb"
+  "test_grad_select[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grad_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

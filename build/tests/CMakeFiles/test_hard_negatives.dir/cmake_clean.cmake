@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hard_negatives.dir/test_hard_negatives.cpp.o"
+  "CMakeFiles/test_hard_negatives.dir/test_hard_negatives.cpp.o.d"
+  "test_hard_negatives"
+  "test_hard_negatives.pdb"
+  "test_hard_negatives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hard_negatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hogwild.dir/test_hogwild.cpp.o"
+  "CMakeFiles/test_hogwild.dir/test_hogwild.cpp.o.d"
+  "test_hogwild"
+  "test_hogwild.pdb"
+  "test_hogwild[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hogwild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lr_scheduler.dir/test_lr_scheduler.cpp.o"
+  "CMakeFiles/test_lr_scheduler.dir/test_lr_scheduler.cpp.o.d"
+  "test_lr_scheduler"
+  "test_lr_scheduler.pdb"
+  "test_lr_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lr_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

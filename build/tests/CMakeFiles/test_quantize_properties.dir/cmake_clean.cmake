@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantize_properties.dir/test_quantize_properties.cpp.o"
+  "CMakeFiles/test_quantize_properties.dir/test_quantize_properties.cpp.o.d"
+  "test_quantize_properties"
+  "test_quantize_properties.pdb"
+  "test_quantize_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantize_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

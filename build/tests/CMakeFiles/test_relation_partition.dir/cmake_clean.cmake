@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relation_partition.dir/test_relation_partition.cpp.o"
+  "CMakeFiles/test_relation_partition.dir/test_relation_partition.cpp.o.d"
+  "test_relation_partition"
+  "test_relation_partition.pdb"
+  "test_relation_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relation_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

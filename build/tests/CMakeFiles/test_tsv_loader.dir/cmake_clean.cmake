@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tsv_loader.dir/test_tsv_loader.cpp.o"
+  "CMakeFiles/test_tsv_loader.dir/test_tsv_loader.cpp.o.d"
+  "test_tsv_loader"
+  "test_tsv_loader.pdb"
+  "test_tsv_loader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tsv_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynkge.dir/dynkge_cli.cpp.o"
+  "CMakeFiles/dynkge.dir/dynkge_cli.cpp.o.d"
+  "dynkge"
+  "dynkge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynkge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
