@@ -62,8 +62,8 @@ void ComplExModel::accumulate_gradients(EntityId h, RelationId r, EntityId t,
   }
 }
 
-void ComplExModel::score_all_tails(EntityId h, RelationId r,
-                                   std::span<double> out) const {
+void ComplExModel::score_tails_block(EntityId h, RelationId r, EntityId begin,
+                                     std::span<double> out) const {
   const auto eh = entities_.row(h);
   const auto er = relations_.row(r);
   const std::int32_t k = rank_;
@@ -73,19 +73,19 @@ void ComplExModel::score_all_tails(EntityId h, RelationId r,
     c_re[i] = eh[i] * er[i] - eh[k + i] * er[k + i];
     c_im[i] = eh[k + i] * er[i] + eh[i] * er[k + i];
   }
-  for (EntityId e = 0; e < num_entities(); ++e) {
-    const auto et = entities_.row(e);
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    const auto et = entities_.row(begin + static_cast<EntityId>(j));
     double acc = 0.0;
     for (std::int32_t i = 0; i < k; ++i) {
       acc += static_cast<double>(c_re[i]) * et[i] +
              static_cast<double>(c_im[i]) * et[k + i];
     }
-    out[e] = acc;
+    out[j] = acc;
   }
 }
 
-void ComplExModel::score_all_heads(RelationId r, EntityId t,
-                                   std::span<double> out) const {
+void ComplExModel::score_heads_block(RelationId r, EntityId t, EntityId begin,
+                                     std::span<double> out) const {
   const auto er = relations_.row(r);
   const auto et = entities_.row(t);
   const std::int32_t k = rank_;
@@ -95,14 +95,14 @@ void ComplExModel::score_all_heads(RelationId r, EntityId t,
     d_re[i] = er[i] * et[i] + er[k + i] * et[k + i];
     d_im[i] = er[i] * et[k + i] - er[k + i] * et[i];
   }
-  for (EntityId e = 0; e < num_entities(); ++e) {
-    const auto eh = entities_.row(e);
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    const auto eh = entities_.row(begin + static_cast<EntityId>(j));
     double acc = 0.0;
     for (std::int32_t i = 0; i < k; ++i) {
       acc += static_cast<double>(d_re[i]) * eh[i] +
              static_cast<double>(d_im[i]) * eh[k + i];
     }
-    out[e] = acc;
+    out[j] = acc;
   }
 }
 

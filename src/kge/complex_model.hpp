@@ -33,10 +33,10 @@ class ComplExModel final : public KgeModel {
   void accumulate_gradients(EntityId h, RelationId r, EntityId t, float coeff,
                             ModelGrads& grads) const override;
 
-  void score_all_tails(EntityId h, RelationId r,
-                       std::span<double> out) const override;
-  void score_all_heads(RelationId r, EntityId t,
-                       std::span<double> out) const override;
+  void score_tails_block(EntityId h, RelationId r, EntityId begin,
+                         std::span<double> out) const override;
+  void score_heads_block(RelationId r, EntityId t, EntityId begin,
+                         std::span<double> out) const override;
 
  private:
   std::int32_t rank_;

@@ -42,26 +42,26 @@ void DistMultModel::accumulate_gradients(EntityId h, RelationId r, EntityId t,
   }
 }
 
-void DistMultModel::score_all_tails(EntityId h, RelationId r,
-                                    std::span<double> out) const {
+void DistMultModel::score_tails_block(EntityId h, RelationId r, EntityId begin,
+                                      std::span<double> out) const {
   const auto eh = entities_.row(h);
   const auto er = relations_.row(r);
   std::vector<float> composed(rank_);
   for (std::int32_t i = 0; i < rank_; ++i) composed[i] = eh[i] * er[i];
-  for (EntityId e = 0; e < num_entities(); ++e) {
-    const auto et = entities_.row(e);
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    const auto et = entities_.row(begin + static_cast<EntityId>(j));
     double acc = 0.0;
     for (std::int32_t i = 0; i < rank_; ++i) {
       acc += static_cast<double>(composed[i]) * et[i];
     }
-    out[e] = acc;
+    out[j] = acc;
   }
 }
 
-void DistMultModel::score_all_heads(RelationId r, EntityId t,
-                                    std::span<double> out) const {
+void DistMultModel::score_heads_block(RelationId r, EntityId t, EntityId begin,
+                                      std::span<double> out) const {
   // DistMult is symmetric in h and t.
-  score_all_tails(t, r, out);
+  score_tails_block(t, r, begin, out);
 }
 
 }  // namespace dynkge::kge

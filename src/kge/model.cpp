@@ -2,14 +2,18 @@
 
 namespace dynkge::kge {
 
-void KgeModel::score_all_tails(EntityId h, RelationId r,
-                               std::span<double> out) const {
-  for (EntityId e = 0; e < num_entities(); ++e) out[e] = score(h, r, e);
+void KgeModel::score_tails_block(EntityId h, RelationId r, EntityId begin,
+                                 std::span<double> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = score(h, r, begin + static_cast<EntityId>(i));
+  }
 }
 
-void KgeModel::score_all_heads(RelationId r, EntityId t,
-                               std::span<double> out) const {
-  for (EntityId e = 0; e < num_entities(); ++e) out[e] = score(e, r, t);
+void KgeModel::score_heads_block(RelationId r, EntityId t, EntityId begin,
+                                 std::span<double> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = score(begin + static_cast<EntityId>(i), r, t);
+  }
 }
 
 }  // namespace dynkge::kge

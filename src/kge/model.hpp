@@ -56,15 +56,28 @@ class KgeModel {
   virtual void accumulate_gradients(EntityId h, RelationId r, EntityId t,
                                     float coeff, ModelGrads& grads) const = 0;
 
-  /// out[e] = phi(h, r, e) for every entity e. Used by ranking evaluation;
-  /// implementations precompose h*r so the per-candidate cost is one dot
-  /// product.
-  virtual void score_all_tails(EntityId h, RelationId r,
-                               std::span<double> out) const;
+  /// out[i] = phi(h, r, begin + i) for i in [0, out.size()); requires
+  /// begin + out.size() <= num_entities(). The blocked form is the virtual
+  /// hook so implementations can precompose h*r once per call (making the
+  /// per-candidate cost one dot product) while callers choose the range —
+  /// ranking evaluation scans all entities, the serving layer hands
+  /// disjoint blocks to worker threads.
+  virtual void score_tails_block(EntityId h, RelationId r, EntityId begin,
+                                 std::span<double> out) const;
+
+  /// out[i] = phi(begin + i, r, t) for i in [0, out.size()).
+  virtual void score_heads_block(RelationId r, EntityId t, EntityId begin,
+                                 std::span<double> out) const;
+
+  /// out[e] = phi(h, r, e) for every entity e.
+  void score_all_tails(EntityId h, RelationId r, std::span<double> out) const {
+    score_tails_block(h, r, 0, out);
+  }
 
   /// out[e] = phi(e, r, t) for every entity e.
-  virtual void score_all_heads(RelationId r, EntityId t,
-                               std::span<double> out) const;
+  void score_all_heads(RelationId r, EntityId t, std::span<double> out) const {
+    score_heads_block(r, t, 0, out);
+  }
 
   EmbeddingMatrix& entities() { return entities_; }
   const EmbeddingMatrix& entities() const { return entities_; }

@@ -72,8 +72,8 @@ void RotatEModel::accumulate_gradients(EntityId h, RelationId r, EntityId t,
   }
 }
 
-void RotatEModel::score_all_tails(EntityId h, RelationId r,
-                                  std::span<double> out) const {
+void RotatEModel::score_tails_block(EntityId h, RelationId r, EntityId begin,
+                                    std::span<double> out) const {
   const auto eh = entities_.row(h);
   const auto phases = relations_.row(r);
   const std::int32_t k = rank_;
@@ -85,15 +85,15 @@ void RotatEModel::score_all_tails(EntityId h, RelationId r,
     rotated[i] = eh[i] * c - eh[k + i] * s;
     rotated[k + i] = eh[i] * s + eh[k + i] * c;
   }
-  for (EntityId e = 0; e < num_entities(); ++e) {
-    const auto et = entities_.row(e);
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    const auto et = entities_.row(begin + static_cast<EntityId>(j));
     double distance = 0.0;
     for (std::int32_t i = 0; i < k; ++i) {
       const double d_re = rotated[i] - et[i];
       const double d_im = rotated[k + i] - et[k + i];
       distance += std::sqrt(d_re * d_re + d_im * d_im + kEpsilon);
     }
-    out[e] = gamma_ - distance;
+    out[j] = gamma_ - distance;
   }
 }
 

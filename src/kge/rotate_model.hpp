@@ -33,8 +33,8 @@ class RotatEModel final : public KgeModel {
   void accumulate_gradients(EntityId h, RelationId r, EntityId t, float coeff,
                             ModelGrads& grads) const override;
 
-  void score_all_tails(EntityId h, RelationId r,
-                       std::span<double> out) const override;
+  void score_tails_block(EntityId h, RelationId r, EntityId begin,
+                         std::span<double> out) const override;
 
  private:
   std::int32_t rank_;

@@ -4,9 +4,10 @@
 // Format (little-endian):
 //   magic   "DKGE"            4 bytes
 //   version u32               currently 1
-//   model   u32 name length + bytes ("complex" | "distmult" | "transe")
+//   model   u32 name length + bytes
+//           ("complex" | "distmult" | "transe" | "rotate")
 //   rank    i32               model rank (complex components)
-//   gamma   f32               TransE margin (0 for other models)
+//   gamma   f32               TransE/RotatE margin (0 for other models)
 //   shape   i32 x4            num_entities, entity_width,
 //                             num_relations, relation_width
 //   data    f32[...]          entity matrix then relation matrix, row-major

@@ -1,0 +1,74 @@
+#include "serve/query_cache.hpp"
+
+#include <algorithm>
+
+namespace dynkge::serve {
+
+QueryCache::QueryCache(std::size_t capacity, std::size_t num_shards)
+    : capacity_(capacity) {
+  const std::size_t shards =
+      std::max<std::size_t>(1, std::min(num_shards, std::max<std::size_t>(
+                                                        1, capacity)));
+  per_shard_capacity_ =
+      capacity == 0 ? 0 : std::max<std::size_t>(1, capacity / shards);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+QueryCache::ResultPtr QueryCache::get(const TopKQuery& query) {
+  const std::uint64_t key = pack_query(query);
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->result;
+}
+
+void QueryCache::put(const TopKQuery& query, ResultPtr result) {
+  if (per_shard_capacity_ == 0) return;
+  const std::uint64_t key = pack_query(query);
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->result = std::move(result);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(Entry{key, std::move(result)});
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+void QueryCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+CacheStats QueryCache::stats() const {
+  CacheStats stats;
+  for (const auto& shard : shards_) {
+    stats.hits += shard->hits.load(std::memory_order_relaxed);
+    stats.misses += shard->misses.load(std::memory_order_relaxed);
+    stats.evictions += shard->evictions.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace dynkge::serve

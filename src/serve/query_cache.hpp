@@ -1,0 +1,112 @@
+// Sharded LRU cache for top-k query results.
+//
+// Production link-prediction traffic is heavily skewed — a few (entity,
+// relation) pairs dominate (popular pages, trending items) — so a small
+// LRU in front of the scorer absorbs most of the scans. The cache is
+// sharded by key hash: each shard has its own mutex, hash map and
+// intrusive LRU list, so concurrent lookups from the service's worker
+// threads contend only when they hash to the same shard. Values are
+// shared_ptr<const TopKResult>: a hit hands out a reference without
+// copying the result vector, and eviction never invalidates a result a
+// client still holds.
+//
+// A cached entry is valid for the model snapshot it was computed from;
+// after swapping in new embeddings call clear(). Counters (hits, misses,
+// evictions, size) are relaxed atomics aggregated across shards.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/scorer.hpp"
+
+namespace dynkge::serve {
+
+/// Pack the query identity into one 64-bit key. Field widths follow
+/// kge::pack_triple: 21 bits for entity and relation ids (enough for
+/// FB250K-scale graphs with huge headroom), 16 for k, 1 for direction,
+/// 1 for the filter flag.
+constexpr std::uint64_t pack_query(const TopKQuery& q) noexcept {
+  constexpr std::uint64_t kIdMask = (1ULL << 21) - 1;
+  return (static_cast<std::uint64_t>(q.entity) & kIdMask) |
+         ((static_cast<std::uint64_t>(q.relation) & kIdMask) << 21) |
+         ((static_cast<std::uint64_t>(q.k) & 0xFFFF) << 42) |
+         (static_cast<std::uint64_t>(q.direction == Direction::kHead) << 58) |
+         (static_cast<std::uint64_t>(q.filter_known) << 59);
+}
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class QueryCache {
+ public:
+  using ResultPtr = std::shared_ptr<const TopKResult>;
+
+  /// `capacity` is the total entry budget, split evenly across
+  /// `num_shards` (each shard gets at least one slot). capacity == 0
+  /// disables the cache: get() always misses, put() is a no-op.
+  explicit QueryCache(std::size_t capacity, std::size_t num_shards = 8);
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// nullptr on miss; on hit the entry moves to most-recently-used.
+  ResultPtr get(const TopKQuery& query);
+
+  /// Insert or refresh. Evicts the least-recently-used entry of the
+  /// target shard when that shard is full.
+  void put(const TopKQuery& query, ResultPtr result);
+
+  /// Drop all entries (e.g. after a model swap). Counters are kept.
+  void clear();
+
+  CacheStats stats() const;
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    ResultPtr result;
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    // LRU list, most-recent at front; map points into the list.
+    std::list<Entry> lru;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
+  };
+
+  Shard& shard_for(std::uint64_t key) {
+    // splitmix-style finalizer: pack_query keys differ in low bits only
+    // for nearby ids, so mix before taking the shard index.
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return *shards_[(z ^ (z >> 31)) % shards_.size()];
+  }
+
+  std::size_t capacity_ = 0;
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dynkge::serve

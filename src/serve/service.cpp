@@ -1,0 +1,120 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <future>
+#include <unordered_map>
+#include <utility>
+
+#include "kge/serialize.hpp"
+#include "util/stopwatch.hpp"
+
+namespace dynkge::serve {
+
+std::string ServiceSnapshot::summary() const {
+  std::string out = "queries " + std::to_string(queries) + "  mean " +
+                    LatencyHistogram::format_seconds(mean_latency_seconds) +
+                    "  p50 " + LatencyHistogram::format_seconds(p50_seconds) +
+                    "  p95 " + LatencyHistogram::format_seconds(p95_seconds) +
+                    "  p99 " + LatencyHistogram::format_seconds(p99_seconds);
+  out += "  cache " + std::to_string(cache.hits) + "/" +
+         std::to_string(cache.hits + cache.misses) + " hits (" +
+         std::to_string(static_cast<int>(100.0 * cache.hit_rate() + 0.5)) +
+         "%), " + std::to_string(cache.evictions) + " evictions";
+  return out;
+}
+
+InferenceService::InferenceService(const kge::KgeModel& model,
+                                   const kge::Dataset* dataset,
+                                   const ServiceConfig& config)
+    : model_(&model),
+      pool_(static_cast<std::size_t>(std::max(1, config.num_threads))),
+      scorer_(model, dataset, config.block_size),
+      cache_(config.cache_capacity, config.cache_shards) {}
+
+InferenceService::InferenceService(std::unique_ptr<kge::KgeModel> model,
+                                   const kge::Dataset* dataset,
+                                   const ServiceConfig& config)
+    : owned_model_(std::move(model)),
+      model_(owned_model_.get()),
+      pool_(static_cast<std::size_t>(std::max(1, config.num_threads))),
+      scorer_(*model_, dataset, config.block_size),
+      cache_(config.cache_capacity, config.cache_shards) {}
+
+std::unique_ptr<InferenceService> InferenceService::from_checkpoint(
+    const std::string& path, const kge::Dataset* dataset,
+    const ServiceConfig& config) {
+  return std::make_unique<InferenceService>(kge::load_model(path), dataset,
+                                            config);
+}
+
+QueryCache::ResultPtr InferenceService::scored_or_cached(
+    const TopKQuery& query, bool parallel) {
+  if (auto cached = cache_.get(query)) return cached;
+  auto result = std::make_shared<const TopKResult>(
+      parallel ? scorer_.topk(query, pool_) : scorer_.topk(query));
+  cache_.put(query, result);
+  return result;
+}
+
+QueryCache::ResultPtr InferenceService::topk(const TopKQuery& query) {
+  const util::Stopwatch clock;
+  auto result = scored_or_cached(query, /*parallel=*/true);
+  latency_.record(clock.seconds());
+  return result;
+}
+
+std::vector<QueryCache::ResultPtr> InferenceService::topk_batch(
+    std::span<const TopKQuery> queries) {
+  const util::Stopwatch clock;
+
+  // Deduplicate: slot -> index into `distinct`.
+  std::vector<TopKQuery> distinct;
+  std::vector<std::size_t> slot_of;
+  slot_of.reserve(queries.size());
+  std::unordered_map<std::uint64_t, std::size_t> seen;
+  seen.reserve(queries.size());
+  for (const TopKQuery& q : queries) {
+    const auto [it, inserted] = seen.try_emplace(pack_query(q),
+                                                 distinct.size());
+    if (inserted) distinct.push_back(q);
+    slot_of.push_back(it->second);
+  }
+
+  // One pool task per distinct query; each task does a serial blocked
+  // scan. With many in-flight queries, across-query parallelism beats
+  // splitting each query across the pool (no merge step, no idle tails).
+  std::vector<QueryCache::ResultPtr> answers(distinct.size());
+  std::vector<std::future<void>> pending;
+  pending.reserve(distinct.size());
+  for (std::size_t i = 0; i < distinct.size(); ++i) {
+    pending.push_back(pool_.submit([this, &answers, &distinct, i] {
+      answers[i] = scored_or_cached(distinct[i], /*parallel=*/false);
+    }));
+  }
+  for (auto& future : pending) future.get();
+
+  std::vector<QueryCache::ResultPtr> results;
+  results.reserve(queries.size());
+  for (const std::size_t slot : slot_of) results.push_back(answers[slot]);
+
+  // Batch latency is attributed per query: every query in the batch
+  // completed within the batch's wall time.
+  const double elapsed = clock.seconds();
+  for (std::size_t i = 0; i < queries.size(); ++i) latency_.record(elapsed);
+  return results;
+}
+
+ServiceSnapshot InferenceService::snapshot() const {
+  ServiceSnapshot snapshot;
+  snapshot.queries = latency_.count();
+  snapshot.mean_latency_seconds = latency_.mean_seconds();
+  snapshot.p50_seconds = latency_.quantile_seconds(0.50);
+  snapshot.p95_seconds = latency_.quantile_seconds(0.95);
+  snapshot.p99_seconds = latency_.quantile_seconds(0.99);
+  snapshot.cache = cache_.stats();
+  return snapshot;
+}
+
+void InferenceService::reset_metrics() { latency_.reset(); }
+
+}  // namespace dynkge::serve

@@ -1,0 +1,103 @@
+// InferenceService — the serving front door.
+//
+// Owns a loaded model, a thread pool, a TopKScorer and a QueryCache, and
+// answers top-k link-prediction queries:
+//
+//   * topk(query)        — single query: cache lookup, then a parallel
+//                          blocked scan across the whole pool on a miss.
+//   * topk_batch(batch)  — micro-batching: deduplicates identical queries
+//                          inside the batch (skewed traffic makes this
+//                          common), answers the distinct misses by fanning
+//                          them out across the pool one query per task
+//                          (better throughput than sequentially
+//                          parallelizing each), then fills every slot.
+//
+// Every query is timed into a fixed-bucket LatencyHistogram; snapshot()
+// returns latency percentiles, throughput and cache counters. Thread-safe:
+// any number of client threads may call topk()/topk_batch() concurrently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kge/dataset.hpp"
+#include "kge/model.hpp"
+#include "serve/metrics.hpp"
+#include "serve/query_cache.hpp"
+#include "serve/scorer.hpp"
+#include "serve/thread_pool.hpp"
+
+namespace dynkge::serve {
+
+struct ServiceConfig {
+  int num_threads = 4;             ///< worker pool size (>= 1)
+  std::size_t cache_capacity = 4096;  ///< total cached results; 0 disables
+  std::size_t cache_shards = 8;
+  std::size_t block_size = 4096;   ///< entities per scoring block
+};
+
+struct ServiceSnapshot {
+  std::uint64_t queries = 0;       ///< total queries answered
+  double mean_latency_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+  CacheStats cache;
+
+  std::string summary() const;
+};
+
+class InferenceService {
+ public:
+  /// Serve `model`. `dataset` (optional) enables known-triple filtering;
+  /// both must outlive the service unless ownership is transferred via
+  /// the unique_ptr overload / from_checkpoint.
+  InferenceService(const kge::KgeModel& model, const kge::Dataset* dataset,
+                   const ServiceConfig& config = {});
+
+  /// Owning variant: the service keeps the model alive.
+  InferenceService(std::unique_ptr<kge::KgeModel> model,
+                   const kge::Dataset* dataset,
+                   const ServiceConfig& config = {});
+
+  /// Load a checkpoint written by kge::save_model and serve it.
+  static std::unique_ptr<InferenceService> from_checkpoint(
+      const std::string& path, const kge::Dataset* dataset = nullptr,
+      const ServiceConfig& config = {});
+
+  /// Answer one query (cache, then parallel scan on a miss). The returned
+  /// pointer is immutable and stays valid after eviction or clear().
+  QueryCache::ResultPtr topk(const TopKQuery& query);
+
+  /// Answer a batch; results[i] corresponds to queries[i]. Duplicate
+  /// queries are scored once.
+  std::vector<QueryCache::ResultPtr> topk_batch(
+      std::span<const TopKQuery> queries);
+
+  /// Latency / throughput / cache counters since construction (or the
+  /// last reset_metrics()).
+  ServiceSnapshot snapshot() const;
+  void reset_metrics();
+
+  /// Drop cached results (call after mutating the model's embeddings).
+  void invalidate_cache() { cache_.clear(); }
+
+  const kge::KgeModel& model() const { return *model_; }
+  int num_threads() const { return static_cast<int>(pool_.size()); }
+
+ private:
+  QueryCache::ResultPtr scored_or_cached(const TopKQuery& query,
+                                         bool parallel);
+
+  std::unique_ptr<kge::KgeModel> owned_model_;
+  const kge::KgeModel* model_;
+  ThreadPool pool_;
+  TopKScorer scorer_;
+  QueryCache cache_;
+  LatencyHistogram latency_;
+};
+
+}  // namespace dynkge::serve

@@ -1,0 +1,76 @@
+#include "serve/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace dynkge::serve {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wakeup_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wakeup_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t total,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (total == 0) return;
+  const std::size_t chunks = std::min(total, size());
+  const std::size_t base = total / chunks;
+  const std::size_t extra = total % chunks;
+
+  // The last chunk runs inline on the calling thread: one less queue
+  // round-trip, and a saturated pool still makes progress.
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks - 1);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c + 1 < chunks; ++c) {
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    pending.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+    begin = end;
+  }
+  // Every chunk must finish before returning — the submitted lambdas
+  // reference `fn` and the caller's captures — so collect errors instead
+  // of letting the first one unwind past live tasks.
+  std::exception_ptr error;
+  try {
+    fn(begin, total);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  for (auto& future : pending) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace dynkge::serve

@@ -1,0 +1,199 @@
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "kge/model_factory.hpp"
+#include "kge/serialize.hpp"
+
+namespace dynkge::serve {
+namespace {
+
+using kge::Dataset;
+using kge::EntityId;
+using kge::RelationId;
+using kge::Triple;
+
+constexpr std::int32_t kEntities = 40;
+constexpr std::int32_t kRelations = 3;
+
+Dataset make_dataset() {
+  util::Rng rng(23);
+  const auto triple = [&] {
+    return Triple{static_cast<EntityId>(rng.next_below(kEntities)),
+                  static_cast<RelationId>(rng.next_below(kRelations)),
+                  static_cast<EntityId>(rng.next_below(kEntities))};
+  };
+  kge::TripleList train, valid, test;
+  for (int i = 0; i < 80; ++i) train.push_back(triple());
+  for (int i = 0; i < 10; ++i) valid.push_back(triple());
+  for (int i = 0; i < 10; ++i) test.push_back(triple());
+  return Dataset(kEntities, kRelations, train, valid, test);
+}
+
+std::unique_ptr<kge::KgeModel> make_initialized(const std::string& name) {
+  auto model = kge::make_model(name, kEntities, kRelations, 4);
+  util::Rng rng(31);
+  model->init(rng);
+  return model;
+}
+
+class InferenceServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dynkge_serve_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(InferenceServiceTest, AnswersMatchDirectScorer) {
+  const auto model = make_initialized("complex");
+  const Dataset dataset = make_dataset();
+  const TopKScorer reference(*model, &dataset);
+  InferenceService service(*model, &dataset);
+
+  const TopKQuery q{Direction::kTail, 2, 1, 5, false};
+  const auto served = service.topk(q);
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(*served, reference.topk(q));
+}
+
+TEST_F(InferenceServiceTest, CacheHitReturnsSameResultObject) {
+  const auto model = make_initialized("complex");
+  InferenceService service(*model, nullptr);
+  const TopKQuery q{Direction::kTail, 1, 0, 8, false};
+  const auto first = service.topk(q);
+  const auto second = service.topk(q);
+  EXPECT_EQ(first.get(), second.get());  // shared, not recomputed
+
+  const auto snapshot = service.snapshot();
+  EXPECT_EQ(snapshot.queries, 2u);
+  EXPECT_EQ(snapshot.cache.hits, 1u);
+  EXPECT_EQ(snapshot.cache.misses, 1u);
+}
+
+TEST_F(InferenceServiceTest, InvalidateCacheForcesRecompute) {
+  const auto model = make_initialized("complex");
+  InferenceService service(*model, nullptr);
+  const TopKQuery q{Direction::kTail, 1, 0, 8, false};
+  const auto first = service.topk(q);
+  service.invalidate_cache();
+  const auto second = service.topk(q);
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(*first, *second);  // same model -> same answer
+}
+
+TEST_F(InferenceServiceTest, BatchMatchesSingleQueries) {
+  const auto model = make_initialized("complex");
+  const Dataset dataset = make_dataset();
+  const TopKScorer reference(*model, &dataset);
+  InferenceService service(*model, &dataset);
+
+  std::vector<TopKQuery> batch;
+  for (EntityId e = 0; e < 12; ++e) {
+    batch.push_back({e % 2 == 0 ? Direction::kTail : Direction::kHead, e,
+                     static_cast<RelationId>(e % kRelations), 6, e % 3 == 0});
+  }
+  // Duplicates inside the batch must be deduplicated, not recomputed.
+  batch.push_back(batch[0]);
+  batch.push_back(batch[3]);
+
+  const auto results = service.topk_batch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_NE(results[i], nullptr) << i;
+    EXPECT_EQ(*results[i], reference.topk(batch[i])) << i;
+  }
+  EXPECT_EQ(results[0].get(), results[batch.size() - 2].get());
+  EXPECT_EQ(results[3].get(), results[batch.size() - 1].get());
+  EXPECT_EQ(service.snapshot().queries, batch.size());
+}
+
+TEST_F(InferenceServiceTest, ConcurrentClientsGetConsistentAnswers) {
+  const auto model = make_initialized("complex");
+  InferenceService service(*model, nullptr, ServiceConfig{2, 64, 4, 16});
+  const TopKScorer reference(*model);
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&service, &reference, c] {
+      for (int i = 0; i < 25; ++i) {
+        const TopKQuery q{Direction::kTail,
+                          static_cast<EntityId>((c * 25 + i) % kEntities),
+                          static_cast<RelationId>(i % kRelations), 5, false};
+        const auto result = service.topk(q);
+        if (result == nullptr) {
+          ADD_FAILURE() << "null result";
+          continue;
+        }
+        EXPECT_EQ(*result, reference.topk(q));
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(service.snapshot().queries, 100u);
+}
+
+TEST_F(InferenceServiceTest, SnapshotTracksLatencyAndSummary) {
+  const auto model = make_initialized("complex");
+  InferenceService service(*model, nullptr);
+  for (int i = 0; i < 20; ++i) {
+    service.topk({Direction::kTail, static_cast<EntityId>(i % kEntities),
+                  0, 4, false});
+  }
+  const auto snapshot = service.snapshot();
+  EXPECT_EQ(snapshot.queries, 20u);
+  EXPECT_GT(snapshot.mean_latency_seconds, 0.0);
+  EXPECT_GE(snapshot.p99_seconds, snapshot.p50_seconds);
+  EXPECT_NE(snapshot.summary().find("p95"), std::string::npos);
+
+  service.reset_metrics();
+  EXPECT_EQ(service.snapshot().queries, 0u);
+}
+
+/// Checkpoint -> serve round trip for every model type the serializer
+/// understands: results served from a loaded checkpoint must be identical
+/// to scoring the in-memory model that produced it.
+TEST_F(InferenceServiceTest, CheckpointRoundTripServesIdenticalTopK) {
+  const Dataset dataset = make_dataset();
+  for (const char* name : {"complex", "distmult", "transe", "rotate"}) {
+    const auto model = make_initialized(name);
+    const std::string file = path(std::string(name) + ".dkge");
+    kge::save_model(*model, file);
+
+    const auto service =
+        InferenceService::from_checkpoint(file, &dataset);
+    ASSERT_NE(service, nullptr) << name;
+    const TopKScorer reference(*model, &dataset);
+    for (const auto direction : {Direction::kTail, Direction::kHead}) {
+      for (EntityId e = 0; e < 6; ++e) {
+        const TopKQuery q{direction, e,
+                          static_cast<RelationId>(e % kRelations), 7,
+                          e % 2 == 0};
+        const auto served = service->topk(q);
+        ASSERT_NE(served, nullptr) << name;
+        EXPECT_EQ(*served, reference.topk(q)) << name;
+      }
+    }
+  }
+}
+
+TEST_F(InferenceServiceTest, FromCheckpointMissingFileThrows) {
+  EXPECT_THROW(InferenceService::from_checkpoint(path("absent.dkge")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dynkge::serve

@@ -1,0 +1,125 @@
+#include "serve/query_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace dynkge::serve {
+namespace {
+
+TopKQuery query(kge::EntityId entity, kge::RelationId relation = 0,
+                std::int32_t k = 10,
+                Direction direction = Direction::kTail,
+                bool filter = false) {
+  return TopKQuery{direction, entity, relation, k, filter};
+}
+
+QueryCache::ResultPtr result_of(double score) {
+  return std::make_shared<const TopKResult>(
+      TopKResult{ScoredEntity{1, score}});
+}
+
+TEST(PackQuery, DistinguishesEveryField) {
+  const TopKQuery base = query(3, 5, 10);
+  EXPECT_NE(pack_query(base), pack_query(query(4, 5, 10)));
+  EXPECT_NE(pack_query(base), pack_query(query(3, 6, 10)));
+  EXPECT_NE(pack_query(base), pack_query(query(3, 5, 11)));
+  EXPECT_NE(pack_query(base),
+            pack_query(query(3, 5, 10, Direction::kHead)));
+  EXPECT_NE(pack_query(base),
+            pack_query(query(3, 5, 10, Direction::kTail, true)));
+  EXPECT_EQ(pack_query(base), pack_query(query(3, 5, 10)));
+}
+
+TEST(QueryCache, MissThenHit) {
+  QueryCache cache(16, 2);
+  EXPECT_EQ(cache.get(query(1)), nullptr);
+  cache.put(query(1), result_of(2.5));
+  const auto hit = cache.get(query(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ((*hit)[0].score, 2.5);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(QueryCache, EvictsLeastRecentlyUsed) {
+  // One shard so the LRU order is global and deterministic.
+  QueryCache cache(2, 1);
+  cache.put(query(1), result_of(1));
+  cache.put(query(2), result_of(2));
+  ASSERT_NE(cache.get(query(1)), nullptr);  // 1 is now most-recent
+  cache.put(query(3), result_of(3));        // evicts 2
+  EXPECT_NE(cache.get(query(1)), nullptr);
+  EXPECT_EQ(cache.get(query(2)), nullptr);
+  EXPECT_NE(cache.get(query(3)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(QueryCache, PutRefreshesExistingKey) {
+  QueryCache cache(4, 1);
+  cache.put(query(1), result_of(1.0));
+  cache.put(query(1), result_of(9.0));
+  const auto hit = cache.get(query(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ((*hit)[0].score, 9.0);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(QueryCache, ZeroCapacityDisables) {
+  QueryCache cache(0);
+  cache.put(query(1), result_of(1.0));
+  EXPECT_EQ(cache.get(query(1)), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(QueryCache, ClearDropsEntriesKeepsCounters) {
+  QueryCache cache(8, 2);
+  cache.put(query(1), result_of(1.0));
+  ASSERT_NE(cache.get(query(1)), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.get(query(1)), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(QueryCache, EvictedResultStaysAliveForHolders) {
+  QueryCache cache(1, 1);
+  cache.put(query(1), result_of(4.0));
+  const auto held = cache.get(query(1));
+  cache.put(query(2), result_of(5.0));  // evicts query(1)'s entry
+  ASSERT_NE(held, nullptr);
+  EXPECT_DOUBLE_EQ((*held)[0].score, 4.0);
+}
+
+TEST(QueryCache, ConcurrentMixedTrafficIsSafe) {
+  QueryCache cache(64, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const auto q = query(static_cast<kge::EntityId>((t * 7 + i) % 200));
+        if (auto hit = cache.get(q)) {
+          EXPECT_FALSE(hit->empty());
+        } else {
+          cache.put(q, result_of(static_cast<double>(i)));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 8u * 2000u);
+  EXPECT_LE(stats.entries, 64u);
+}
+
+}  // namespace
+}  // namespace dynkge::serve

@@ -11,31 +11,49 @@
 //                   [--save-model file] [--report file.json]
 //   dynkge eval     --data <dir> --model-file <file>       evaluate a saved
 //                                                          model
-//   dynkge predict  --data <dir> --model-file <file>       top-k tails for
-//                   --head H --relation R [--topk K]       a query
+//   dynkge predict  --data <dir> --model-file <file>       top-k entities
+//                   --head H | --tail T  --relation R      for a query,
+//                   [--topk K] [--threads N] [--filter]    served by
+//                                                          serve/TopKScorer
+//   dynkge serve-bench --data <dir> | --preset <name>      replay a skewed
+//                   [--model-file f] [--queries N]         synthetic query
+//                   [--distinct N] [--topk K]              stream through
+//                   [--threads N] [--cache N] [--batch N]  InferenceService;
+//                   [--seed N]                             report p50/p95/p99
+//                                                          latency, QPS, and
+//                                                          speedup over the
+//                                                          single-query scan
 #include <algorithm>
 #include <iostream>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
+
+#include "serve/service.hpp"
 
 #include "core/distributed_eval.hpp"
 #include "core/hogwild_trainer.hpp"
 #include "core/report_json.hpp"
 #include "core/strategy_config.hpp"
 #include "core/trainer.hpp"
+#include "kge/model_factory.hpp"
 #include "kge/serialize.hpp"
 #include "kge/statistics.hpp"
 #include "kge/synthetic.hpp"
 #include "kge/tsv_loader.hpp"
 #include "util/argparse.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 using namespace dynkge;
 
 namespace {
 
 int usage() {
-  std::cerr << "usage: dynkge <generate|stats|train|eval|predict> "
-               "[--flags]\n(see the header of tools/dynkge_cli.cpp)\n";
+  std::cerr << "usage: dynkge <generate|stats|train|eval|predict|"
+               "serve-bench> [--flags]\n"
+               "(see the header of tools/dynkge_cli.cpp)\n";
   return 2;
 }
 
@@ -215,37 +233,173 @@ int cmd_predict(const util::ArgParser& args) {
     return 2;
   }
   const kge::Dataset dataset = dataset_from_flags(args);
-  const auto model = kge::load_model(model_path);
-  const auto head = static_cast<kge::EntityId>(args.get_int("head", 0));
-  const auto relation =
-      static_cast<kge::RelationId>(args.get_int("relation", 0));
-  const int topk = static_cast<int>(args.get_int("topk", 10));
-  if (head < 0 || head >= dataset.num_entities() || relation < 0 ||
-      relation >= dataset.num_relations()) {
-    std::cerr << "predict: --head/--relation out of range\n";
+
+  serve::TopKQuery query;
+  // --head H predicts tails of (H, r, ?); --tail T predicts heads of
+  // (?, r, T). Exactly one side may be given; --head 0 is the default.
+  const auto head = args.get_int("head", -1);
+  const auto tail = args.get_int("tail", -1);
+  if (head >= 0 && tail >= 0) {
+    std::cerr << "predict: give either --head or --tail, not both\n";
     return 2;
   }
+  query.direction =
+      tail >= 0 ? serve::Direction::kHead : serve::Direction::kTail;
+  query.entity = static_cast<kge::EntityId>(tail >= 0 ? tail
+                                            : head >= 0 ? head
+                                                        : 0);
+  query.relation = static_cast<kge::RelationId>(args.get_int("relation", 0));
+  query.filter_known = args.get_bool("filter", false);
 
-  std::vector<double> scores(model->num_entities());
-  model->score_all_tails(head, relation, scores);
-  std::vector<kge::EntityId> order(model->num_entities());
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    order[i] = static_cast<kge::EntityId>(i);
+  serve::ServiceConfig config;
+  config.num_threads = static_cast<int>(args.get_int("threads", 4));
+  serve::InferenceService live(kge::load_model(model_path), &dataset, config);
+  if (query.entity >= dataset.num_entities() || query.relation < 0 ||
+      query.relation >= dataset.num_relations()) {
+    std::cerr << "predict: --head/--tail/--relation out of range\n";
+    return 2;
   }
-  const int k = std::min<int>(topk, static_cast<int>(order.size()));
-  std::partial_sort(order.begin(), order.begin() + k, order.end(),
-                    [&](kge::EntityId a, kge::EntityId b) {
-                      return scores[a] > scores[b];
-                    });
-  std::cout << "top-" << k << " tails for (e" << head << ", r" << relation
-            << ", ?):\n";
-  for (int i = 0; i < k; ++i) {
-    std::cout << "  e" << order[i] << "  score " << scores[order[i]]
-              << (dataset.contains(head, relation, order[i])
-                      ? "  [known fact]"
-                      : "")
-              << "\n";
+  query.k = std::min<std::int32_t>(
+      static_cast<std::int32_t>(args.get_int("topk", 10)),
+      dataset.num_entities());
+
+  const auto result = live.topk(query);
+  const bool tails = query.direction == serve::Direction::kTail;
+  std::cout << "top-" << result->size() << (tails ? " tails for (e" : " heads for (?")
+            << (tails ? std::to_string(query.entity) : "")
+            << ", r" << query.relation
+            << (tails ? ", ?):\n" : ", e" + std::to_string(query.entity) + "):\n");
+  for (const auto& [entity, score] : *result) {
+    const bool known = tails
+                           ? dataset.contains(query.entity, query.relation, entity)
+                           : dataset.contains(entity, query.relation, query.entity);
+    std::cout << "  e" << entity << "  score " << score
+              << (known ? "  [known fact]" : "") << "\n";
   }
+  const auto snapshot = live.snapshot();
+  std::cout << "served in " << serve::LatencyHistogram::format_seconds(
+                                   snapshot.mean_latency_seconds)
+            << " on " << live.num_threads() << " threads\n";
+  return 0;
+}
+
+// Replay a skewed synthetic query stream through InferenceService and
+// compare against the pre-serve inference path: one query at a time, one
+// thread, full score_all_* scan + partial_sort, no cache.
+int cmd_serve_bench(const util::ArgParser& args) {
+  const kge::Dataset dataset = dataset_from_flags(args);
+
+  const std::string model_path = args.get_string("model-file", "");
+  std::unique_ptr<kge::KgeModel> model;
+  if (!model_path.empty()) {
+    model = kge::load_model(model_path);
+  } else {
+    // Untrained weights score garbage but cost exactly the same to serve —
+    // fine for a throughput benchmark.
+    model = kge::make_model(
+        args.get_string("model", "complex"), dataset.num_entities(),
+        dataset.num_relations(),
+        static_cast<std::int32_t>(args.get_int("rank", 32)));
+    util::Rng init_rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+    model->init(init_rng);
+  }
+  const kge::KgeModel& m = *model;
+
+  const auto num_queries =
+      static_cast<std::size_t>(args.get_int("queries", 2000));
+  const auto num_distinct = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.get_int("distinct", 256)));
+  const auto topk = static_cast<std::int32_t>(args.get_int("topk", 10));
+  const auto batch = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.get_int("batch", 32)));
+
+  serve::ServiceConfig config;
+  config.num_threads = static_cast<int>(args.get_int("threads", 4));
+  config.cache_capacity =
+      static_cast<std::size_t>(args.get_int("cache", 1024));
+
+  // Distinct query identities, then a Zipf(1.0)-skewed stream over them —
+  // the popularity profile the cache is designed for.
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)) ^
+                0x5e7fe5e7fe5ULL);
+  std::vector<serve::TopKQuery> identities(num_distinct);
+  for (auto& q : identities) {
+    q.direction = rng.next_bernoulli(0.5) ? serve::Direction::kTail
+                                          : serve::Direction::kHead;
+    q.entity = static_cast<kge::EntityId>(
+        rng.next_below(static_cast<std::uint64_t>(dataset.num_entities())));
+    q.relation = static_cast<kge::RelationId>(
+        rng.next_below(static_cast<std::uint64_t>(dataset.num_relations())));
+    q.k = std::min<std::int32_t>(topk, dataset.num_entities());
+  }
+  const util::ZipfSampler skew(num_distinct, 1.0);
+  std::vector<serve::TopKQuery> stream(num_queries);
+  for (auto& q : stream) q = identities[skew.sample(rng)];
+
+  std::cout << "serve-bench: " << num_queries << " queries ("
+            << num_distinct << " distinct, Zipf-skewed), top-" << topk
+            << ", model " << m.name() << ", " << dataset.num_entities()
+            << " entities\n";
+
+  // Baseline: the old `dynkge predict` path over a slice of the stream.
+  const auto baseline_n =
+      std::min<std::size_t>(stream.size(),
+                            static_cast<std::size_t>(
+                                args.get_int("baseline-queries", 64)));
+  std::vector<double> scores(static_cast<std::size_t>(m.num_entities()));
+  std::vector<kge::EntityId> order(scores.size());
+  util::Stopwatch baseline_clock;
+  for (std::size_t i = 0; i < baseline_n; ++i) {
+    const auto& q = stream[i];
+    if (q.direction == serve::Direction::kTail) {
+      m.score_all_tails(q.entity, q.relation, scores);
+    } else {
+      m.score_all_heads(q.relation, q.entity, scores);
+    }
+    for (std::size_t e = 0; e < order.size(); ++e) {
+      order[e] = static_cast<kge::EntityId>(e);
+    }
+    std::partial_sort(order.begin(), order.begin() + q.k, order.end(),
+                      [&](kge::EntityId a, kge::EntityId b) {
+                        return scores[a] > scores[b];
+                      });
+  }
+  const double baseline_seconds = baseline_clock.seconds();
+  const double baseline_qps =
+      static_cast<double>(baseline_n) / baseline_seconds;
+  std::cout << "baseline (single-thread full scan, no cache): "
+            << baseline_n << " queries in "
+            << serve::LatencyHistogram::format_seconds(baseline_seconds)
+            << "  ->  " << static_cast<std::uint64_t>(baseline_qps)
+            << " qps\n";
+
+  // Serve the same stream: warmup pass fills the cache, measured pass is
+  // the steady state a long-running service converges to.
+  serve::InferenceService service(std::move(model), &dataset, config);
+  for (std::size_t begin = 0; begin < stream.size(); begin += batch) {
+    const auto end = std::min(stream.size(), begin + batch);
+    service.topk_batch(std::span(stream).subspan(begin, end - begin));
+  }
+  service.reset_metrics();
+
+  util::Stopwatch serve_clock;
+  for (std::size_t begin = 0; begin < stream.size(); begin += batch) {
+    const auto end = std::min(stream.size(), begin + batch);
+    service.topk_batch(std::span(stream).subspan(begin, end - begin));
+  }
+  const double serve_seconds = serve_clock.seconds();
+  const double serve_qps =
+      static_cast<double>(stream.size()) / serve_seconds;
+
+  const auto snapshot = service.snapshot();
+  std::cout << "service (" << service.num_threads() << " threads, cache "
+            << config.cache_capacity << ", batch " << batch << "): "
+            << stream.size() << " queries in "
+            << serve::LatencyHistogram::format_seconds(serve_seconds)
+            << "  ->  " << static_cast<std::uint64_t>(serve_qps) << " qps\n"
+            << "latency: " << snapshot.summary() << "\n"
+            << "speedup over single-query scan: "
+            << (serve_qps / baseline_qps) << "x\n";
   return 0;
 }
 
@@ -261,6 +415,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(args);
     if (command == "eval") return cmd_eval(args);
     if (command == "predict") return cmd_predict(args);
+    if (command == "serve-bench") return cmd_serve_bench(args);
   } catch (const std::exception& error) {
     std::cerr << "dynkge " << command << ": " << error.what() << "\n";
     return 1;
