@@ -148,30 +148,31 @@ Cluster::Cluster(int num_ranks, CostModelParams params)
   }
 }
 
-void Cluster::run(const std::function<void(Communicator&)>& fn) {
+void Cluster::run(const std::function<void(Communicator&)>& fn,
+                  util::ThreadPool& pool) {
   SharedState state(num_ranks_);
   std::vector<std::exception_ptr> errors(num_ranks_);
-  std::vector<std::thread> threads;
-  threads.reserve(num_ranks_);
 
-  for (int r = 0; r < num_ranks_; ++r) {
-    threads.emplace_back([&, r] {
-      Communicator communicator(r, num_ranks_, state, model_);
-      try {
-        fn(communicator);
-      } catch (const AbortedError&) {
-        // Secondary failure caused by a sibling's abort; ignore.
-      } catch (...) {
-        errors[r] = std::current_exception();
-        state.barrier.abort();
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
+  pool.run_cohort(static_cast<std::size_t>(num_ranks_), [&](std::size_t r) {
+    Communicator communicator(static_cast<int>(r), num_ranks_, state, model_);
+    try {
+      fn(communicator);
+    } catch (const AbortedError&) {
+      // Secondary failure caused by a sibling's abort; ignore.
+    } catch (...) {
+      errors[r] = std::current_exception();
+      state.barrier.abort();
+    }
+  });
 
   for (const auto& error : errors) {
     if (error) std::rethrow_exception(error);
   }
+}
+
+void Cluster::run(const std::function<void(Communicator&)>& fn) {
+  util::ThreadPool pool(static_cast<std::size_t>(num_ranks_));
+  run(fn, pool);
 }
 
 }  // namespace dynkge::comm

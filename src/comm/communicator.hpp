@@ -1,10 +1,12 @@
 // Threads-as-ranks message-passing runtime.
 //
 // This module stands in for MPI/Horovod on the paper's Cray XC40 (see
-// DESIGN.md section 2). Each simulated node is a std::thread with
-// rank-private state; collectives have MPI semantics (synchronous, in rank
-// order, deterministic) and exchange data through a shared staging area
-// guarded by a generation-counted barrier.
+// DESIGN.md section 2). Each simulated node is a rank program with
+// rank-private state, co-scheduled on a host thread pool
+// (util::ThreadPool::run_cohort) so all P ranks execute concurrently;
+// collectives have MPI semantics (synchronous, in rank order,
+// deterministic) and exchange data through a shared staging area guarded
+// by a generation-counted barrier.
 //
 // Timing: physical thread time spent inside collectives is *not* what the
 // experiments report. Instead every Communicator carries a simulated clock:
@@ -25,6 +27,7 @@
 #include <vector>
 
 #include "comm/cost_model.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dynkge::comm {
 
@@ -195,8 +198,10 @@ class Communicator {
   double sim_now_ = 0.0;
 };
 
-/// Owns the simulated cluster: spawns one thread per rank, hands each a
-/// Communicator, propagates the first failure, and joins everything.
+/// Owns the simulated cluster: executes one rank program per rank on a
+/// host thread pool (util::ThreadPool::run_cohort, which co-schedules all
+/// ranks so the barrier protocol cannot starve), hands each a
+/// Communicator, propagates the first failure, and waits for everything.
 class Cluster {
  public:
   explicit Cluster(int num_ranks,
@@ -205,8 +210,16 @@ class Cluster {
   int num_ranks() const { return num_ranks_; }
   const CostModel& cost_model() const { return model_; }
 
-  /// Run fn on every rank; blocks until all ranks finish. If any rank
-  /// throws, the others are aborted and the first exception is rethrown.
+  /// Run fn on every rank of `pool`; blocks until all ranks finish. If any
+  /// rank throws, the others are aborted and the lowest-rank exception is
+  /// rethrown. The pool may be shared (across train() calls, or with the
+  /// serving layer); ranks beyond its free capacity run on transient
+  /// overflow threads, so any pool size is safe.
+  void run(const std::function<void(Communicator&)>& fn,
+           util::ThreadPool& pool);
+
+  /// Convenience overload for one-shot callers: runs on a pool scoped to
+  /// this call, sized one worker per rank.
   void run(const std::function<void(Communicator&)>& fn);
 
  private:

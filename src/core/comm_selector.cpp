@@ -6,8 +6,14 @@ namespace dynkge::core {
 
 CommModeSelector::CommModeSelector(CommMode mode, int probe_interval)
     : mode_(mode), probe_interval_(probe_interval) {
-  if (mode == CommMode::kDynamic && probe_interval < 1) {
-    throw std::invalid_argument("CommModeSelector: probe_interval must be >= 1");
+  // probe_interval == 1 would make every epoch after 0 a probe: no
+  // all-reduce epoch ever runs again, so last_allreduce_time_ stays the
+  // epoch-0 measurement and every probe compares against a stale baseline.
+  // The smallest interval with a fresh baseline between probes is 2.
+  if (mode == CommMode::kDynamic && probe_interval < 2) {
+    throw std::invalid_argument(
+        "CommModeSelector: dynamic mode requires probe_interval >= 2 "
+        "(interval 1 leaves no all-reduce epochs to refresh the baseline)");
   }
 }
 
@@ -48,6 +54,8 @@ void CommModeSelector::record_epoch(int epoch, double comm_seconds) {
 }
 
 double CommModeSelector::allreduce_fraction() const {
+  // Empty history -> 0.0: no epochs means no all-reduce communications.
+  // TrainReport::allreduce_fraction defaults to the same convention.
   if (epochs_recorded_ == 0) return 0.0;
   return static_cast<double>(allreduce_epochs_) /
          static_cast<double>(epochs_recorded_);

@@ -16,6 +16,9 @@ namespace dynkge::core {
 
 class CommModeSelector {
  public:
+  /// Dynamic mode rejects probe_interval < 2: with interval 1 every epoch
+  /// after 0 is a probe, so no all-reduce epoch would ever refresh the
+  /// comparison baseline. Static modes ignore the interval.
   CommModeSelector(CommMode mode, int probe_interval);
 
   /// The transport the upcoming epoch (0-based) should use.

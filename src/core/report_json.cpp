@@ -18,6 +18,9 @@ std::string report_to_json(const TrainReport& report) {
   json.kv("total_sim_seconds", report.total_sim_seconds);
   json.kv("mean_epoch_seconds", report.mean_epoch_seconds());
   json.kv("wall_seconds", report.wall_seconds);
+  json.kv("host_threads", report.host_threads);
+  json.kv("compute_cpu_seconds", report.compute_cpu_seconds);
+  json.kv("host_speedup", report.host_speedup());
   json.kv("final_val_accuracy", report.final_val_accuracy);
   json.kv("tca", report.tca);
   json.key("ranking").begin_object();

@@ -55,6 +55,17 @@ DistributedTrainer::DistributedTrainer(const kge::Dataset& dataset,
   if (config_.max_epochs < 1) {
     throw std::invalid_argument("TrainConfig: max_epochs must be >= 1");
   }
+  if (config_.host_threads < 0) {
+    throw std::invalid_argument(
+        "TrainConfig: host_threads must be >= 0 (0 = hardware concurrency)");
+  }
+  if (config_.strategy.comm == CommMode::kDynamic &&
+      config_.strategy.dynamic_probe_interval < 2) {
+    // Surface the CommModeSelector contract at config time instead of from
+    // inside a rank program (see comm_selector.cpp for the rationale).
+    throw std::invalid_argument(
+        "TrainConfig: dynamic comm mode requires dynamic_probe_interval >= 2");
+  }
   const auto& s = config_.strategy;
   if (s.negatives_sampled < 1 || s.negatives_used < 1 ||
       s.negatives_used > s.negatives_sampled) {
@@ -95,11 +106,34 @@ TrainReport DistributedTrainer::train() {
   report.model_name = config_.model_name;
   report.num_nodes = num_nodes;
 
+  // The rank programs execute concurrently on a host thread pool — shared
+  // across train() calls when the config provides one, otherwise scoped to
+  // this call and sized by host_threads. Wall time scales with
+  // min(num_nodes, cores); the simulated clock is unaffected.
+  std::shared_ptr<util::ThreadPool> pool = config_.host_pool;
+  if (pool == nullptr) {
+    const std::size_t threads =
+        config_.host_threads > 0
+            ? static_cast<std::size_t>(config_.host_threads)
+            : util::ThreadPool::hardware_threads();
+    pool = std::make_shared<util::ThreadPool>(threads);
+  }
+  report.host_threads = static_cast<int>(pool->size());
+
   comm::Cluster cluster(num_nodes, config_.network);
 
   cluster.run([&](Communicator& comm) {
     const int rank = comm.rank();
     if (config_.trace_communication && rank == 0) comm.enable_trace();
+    // Per-rank accumulator slot for measured compute seconds; reduced in
+    // fixed rank order after the final barrier (the value is a timing
+    // measurement and varies run to run, but the reduction order never
+    // does).
+    double rank_compute_seconds = 0.0;
+    const auto charge_compute = [&](double seconds) {
+      comm.sim_add_compute(seconds);
+      rank_compute_seconds += seconds;
+    };
     Rng init_rng(util::derive_seed(config_.seed, 0x1417u));  // same all ranks
     auto model =
         kge::make_model(config_.model_name, dataset_.num_entities(),
@@ -226,7 +260,7 @@ TrainReport DistributedTrainer::train() {
             }
           }
         }
-        comm.sim_add_compute(compute_seconds);
+        charge_compute(compute_seconds);
 
         // ---- strategies 1 & 3: synchronize gradients ------------------
         ExchangePlan plan;
@@ -266,7 +300,7 @@ TrainReport DistributedTrainer::train() {
             }
           }
         }
-        comm.sim_add_compute(update_seconds);
+        charge_compute(update_seconds);
       }
 
       // ---- validation --------------------------------------------------
@@ -299,7 +333,7 @@ TrainReport DistributedTrainer::train() {
           weighted = accuracy * static_cast<double>(count);
           pairs = static_cast<double>(count);
         }
-        comm.sim_add_compute(val_seconds);
+        charge_compute(val_seconds);
         const double weighted_sum =
             comm.allreduce_scalar(weighted, ScalarOp::kSum);
         const double pair_sum = comm.allreduce_scalar(pairs, ScalarOp::kSum);
@@ -313,7 +347,7 @@ TrainReport DistributedTrainer::train() {
                 *model, util::derive_seed(config_.seed, epoch, 0xACCu),
                 config_.valid_max_triples);
           }
-          comm.sim_add_compute(val_seconds);
+          charge_compute(val_seconds);
         }
         val_accuracy = comm.allreduce_scalar(val_accuracy, ScalarOp::kMax);
       }
@@ -379,6 +413,13 @@ TrainReport DistributedTrainer::train() {
       if (rank == 0) report.replicas_consistent = (lo == hi);
     }
 
+    // ---- reduce the per-rank compute slots (fixed rank order) ----------
+    {
+      const double cluster_compute =
+          comm.allreduce_scalar(rank_compute_seconds, ScalarOp::kSum);
+      if (rank == 0) report.compute_cpu_seconds = cluster_compute;
+    }
+
     // ---- reassemble relation rows under relation partition ------------
     if (strategy.relation_partition) {
       const auto [lo, hi] = relation_partition.relation_range[rank];
@@ -415,7 +456,7 @@ TrainReport DistributedTrainer::train() {
       }
       report.model = std::move(model);
     }
-  });
+  }, *pool);
 
   report.wall_seconds = wall.seconds();
   return report;

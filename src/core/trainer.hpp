@@ -16,6 +16,16 @@
 // accuracy, which yields the per-method epoch counts N; epoch durations
 // come from the simulated clock (measured per-thread compute + modeled
 // communication), which yields the training times TT. See DESIGN.md.
+//
+// Host execution model: the P rank programs run concurrently, co-scheduled
+// on a host thread pool (util::ThreadPool, shared with the serving layer's
+// pool implementation; sized by TrainConfig::host_threads, with transient
+// overflow threads when P exceeds the pool). Wall time therefore scales
+// with min(P, host cores), while the reported sim_seconds/comm_seconds
+// stay the paper-faithful simulated Cray numbers. Results are
+// bit-identical for every host_threads value: all floating-point
+// reductions consume per-rank contributions in fixed rank order, and
+// per-rank RNGs are derived from (seed, rank, epoch) alone.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +38,7 @@
 #include "core/strategy_config.hpp"
 #include "kge/dataset.hpp"
 #include "kge/evaluator.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dynkge::core {
 
@@ -40,6 +51,18 @@ struct TrainConfig {
 
   int num_nodes = 1;
   std::size_t batch_size = 1000;  ///< positives per rank per step
+
+  /// Host threads the simulated cluster's rank programs run on. 0 means
+  /// hardware concurrency. Purely a wall-time knob: results are
+  /// bit-identical for every value (rank-ordered reductions, per-rank
+  /// RNGs), and sim_seconds/comm_seconds are unaffected. When
+  /// host_threads < num_nodes the pool co-schedules the excess ranks on
+  /// transient overflow threads (barrier programs need all P ranks live).
+  int host_threads = 0;
+
+  /// Optional externally owned pool to run on (e.g. one pool shared by
+  /// several train() calls). When set, host_threads is ignored.
+  std::shared_ptr<util::ThreadPool> host_pool;
 
   PlateauConfig lr;            ///< plateau schedule (paper defaults inside)
   double weight_decay = 1e-6;  ///< 2*lambda of the L2 penalty
@@ -97,9 +120,26 @@ struct TrainReport {
   double tca = 0.0;                ///< the paper's TCA (percent)
   kge::RankingMetrics ranking;     ///< .mrr is the paper's MRR
 
+  /// Host threads the rank programs ran on (the pool's worker count).
+  int host_threads = 1;
+  /// Sum over ranks of measured thread-CPU compute seconds (deterministic
+  /// rank-ordered reduction of the per-rank slots; the value itself is a
+  /// timing measurement and varies run to run, like wall_seconds).
+  double compute_cpu_seconds = 0.0;
+  /// Effective host parallelism: how many seconds of rank compute were
+  /// retired per wall second. ~min(P, cores) when the host overlaps the
+  /// ranks; ~1 when they serialize. This is the wall-time speedup over
+  /// executing the measured compute sequentially.
+  double host_speedup() const {
+    return wall_seconds > 0.0 ? compute_cpu_seconds / wall_seconds : 0.0;
+  }
+
   std::vector<EpochRecord> epoch_log;
   comm::CommStats comm_stats;      ///< rank 0 totals
-  double allreduce_fraction = 1.0; ///< share of epochs run with all-reduce
+  /// Share of recorded epochs run with all-reduce. 0.0 when no epochs ran
+  /// — the same empty-history convention as
+  /// CommModeSelector::allreduce_fraction().
+  double allreduce_fraction = 0.0;
   double wall_seconds = 0.0;       ///< host wall time (diagnostic only)
 
   /// Verified at the end of training: every rank holds bit-identical

@@ -1,76 +1,15 @@
-// Fixed-size worker pool for the serving layer.
-//
-// Training parallelism in this repo is structured (threads-as-ranks in
-// comm/, epoch-scoped workers in core/hogwild_trainer); serving needs the
-// opposite shape — long-lived workers draining an unbounded stream of
-// small, independent tasks. This pool is deliberately minimal: one shared
-// FIFO queue, condition-variable wakeup, futures for completion. Both
-// uses in serve/ are coarse tasks (an entity block or a whole query), so
-// a lock around the queue is nowhere near the bottleneck.
+// The worker pool now lives in util/ (util::ThreadPool) so training and
+// serving share one pool implementation: serving drains streams of small
+// independent tasks through submit()/parallel_for(), while comm/Cluster
+// co-schedules its barrier-synchronized rank programs with run_cohort().
+// This header remains so serve/ code and its users keep spelling the type
+// serve::ThreadPool.
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <functional>
-#include <future>
-#include <mutex>
-#include <queue>
-#include <thread>
-#include <type_traits>
-#include <vector>
+#include "util/thread_pool.hpp"
 
 namespace dynkge::serve {
 
-class ThreadPool {
- public:
-  /// Spawns `num_threads` workers (minimum 1).
-  explicit ThreadPool(std::size_t num_threads);
-
-  /// Drains nothing: outstanding tasks are completed, queued tasks are
-  /// still executed, then workers join.
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  std::size_t size() const { return workers_.size(); }
-
-  /// Enqueue `fn` and get a future for its result. Safe from any thread,
-  /// including from inside a task (the queue never blocks on submit).
-  template <typename Fn>
-  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
-    using Result = std::invoke_result_t<Fn>;
-    auto task = std::make_shared<std::packaged_task<Result()>>(
-        std::forward<Fn>(fn));
-    std::future<Result> future = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) {
-        throw std::runtime_error("ThreadPool: submit after shutdown");
-      }
-      queue_.emplace([task] { (*task)(); });
-    }
-    wakeup_.notify_one();
-    return future;
-  }
-
-  /// Split [0, total) into roughly even contiguous chunks (at most one per
-  /// worker), run `fn(begin, end)` on the pool, and wait for all chunks.
-  /// One chunk runs inline on the calling thread. Exceptions from `fn`
-  /// propagate to the caller (first one wins). Must not be called from a
-  /// pool worker: the inline chunk makes progress but the submitted chunks
-  /// can deadlock a fully occupied pool.
-  void parallel_for(std::size_t total,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
-
- private:
-  void worker_loop();
-
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable wakeup_;
-  bool stopping_ = false;
-};
+using ThreadPool = util::ThreadPool;
 
 }  // namespace dynkge::serve

@@ -1,10 +1,14 @@
 // Per-thread CPU time measurement.
 //
-// The simulated cluster runs P ranks as threads on however many physical
-// cores the host happens to have. Wall-clock time would conflate ranks
-// timesharing a core with genuine work, so compute segments are measured
-// with CLOCK_THREAD_CPUTIME_ID: the CPU time consumed by *this* thread,
-// immune to preemption by sibling ranks.
+// The simulated cluster co-schedules its P rank programs on a host thread
+// pool (util::ThreadPool::run_cohort): up to host_threads ranks run on
+// persistent pool workers and the rest on transient overflow threads, all
+// concurrently, on however many physical cores the host happens to have.
+// Wall-clock time would conflate ranks timesharing a core with genuine
+// work, so compute segments are measured with CLOCK_THREAD_CPUTIME_ID:
+// the CPU time consumed by *this* thread, immune to preemption by sibling
+// ranks. A rank runs on exactly one host thread for its whole lifetime,
+// so the per-thread clock is also per-rank.
 #pragma once
 
 #include <ctime>

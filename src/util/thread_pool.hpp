@@ -1,0 +1,108 @@
+// Shared fixed-size worker pool.
+//
+// One pool implementation serves both halves of the system: serving uses
+// submit()/parallel_for() to drain streams of small independent tasks
+// (serve/scorer, serve/service), and training uses run_cohort() to execute
+// the simulated cluster's P rank bodies concurrently (comm/Cluster). The
+// pool is deliberately minimal: one shared FIFO queue, condition-variable
+// wakeup, futures for completion. Every use is coarse (an entity block, a
+// whole query, an entire rank program), so a lock around the queue is
+// nowhere near the bottleneck.
+//
+// Cohorts are the one structured primitive: run_cohort(n, body) guarantees
+// that all n bodies are live at the same time, which is what the
+// barrier-synchronized rank programs in comm/ require — a plain FIFO pool
+// with fewer than n free workers would start a prefix of the ranks, let
+// them block at the first barrier, and deadlock. Ranks beyond the pool's
+// free capacity run on transient overflow threads instead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dynkge::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains nothing: outstanding tasks are completed, queued tasks are
+  /// still executed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency() with the zero-means-unknown case
+  /// clamped to 1 — the default sizing for host-side parallelism knobs.
+  static std::size_t hardware_threads() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+  }
+
+  /// Enqueue `fn` and get a future for its result. Safe from any thread,
+  /// including from inside a task (the queue never blocks on submit).
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      queue_.emplace([task] { (*task)(); });
+    }
+    wakeup_.notify_one();
+    return future;
+  }
+
+  /// Split [0, total) into roughly even contiguous chunks (at most one per
+  /// worker), run `fn(begin, end)` on the pool, and wait for all chunks.
+  /// One chunk runs inline on the calling thread. Exceptions from `fn`
+  /// propagate to the caller (first one wins). Must not be called from a
+  /// pool worker: the inline chunk makes progress but the submitted chunks
+  /// can deadlock a fully occupied pool.
+  void parallel_for(std::size_t total,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Run body(0), ..., body(n-1) concurrently and wait for all of them.
+  ///
+  /// Unlike n submit() calls, the cohort is co-scheduled: every body is
+  /// guaranteed to be running at the same time, so bodies may synchronize
+  /// with each other (barriers, collectives). Idle pool workers are used
+  /// first; the remainder — because the pool is smaller than n or its
+  /// workers are busy — runs on transient overflow threads that exit when
+  /// the cohort finishes. Each rank executes exactly once, no matter which
+  /// thread claims it, so results cannot depend on the pool's size.
+  ///
+  /// Exceptions from bodies are collected and the lowest-rank one is
+  /// rethrown after every body finished. Must not be called from a pool
+  /// worker (the caller blocks until the cohort completes).
+  void run_cohort(std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wakeup_;
+  std::size_t idle_ = 0;  ///< workers currently waiting for a task
+  bool stopping_ = false;
+};
+
+}  // namespace dynkge::util

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/trainer.hpp"
+
 namespace dynkge::core {
 namespace {
 
@@ -105,13 +107,40 @@ TEST(CommModeSelector, TransportForMatchesUseAllGather) {
 TEST(CommModeSelector, EmptyHistoryFraction) {
   const CommModeSelector selector(CommMode::kDynamic, 10);
   EXPECT_DOUBLE_EQ(selector.allreduce_fraction(), 0.0);
+  // One convention for "no epochs recorded": the selector and a
+  // default-constructed TrainReport must agree.
+  EXPECT_DOUBLE_EQ(TrainReport{}.allreduce_fraction,
+                   selector.allreduce_fraction());
 }
 
 TEST(CommModeSelector, RejectsBadProbeInterval) {
   EXPECT_THROW(CommModeSelector(CommMode::kDynamic, 0),
                std::invalid_argument);
+  // interval 1 makes every epoch after 0 a probe, so the all-reduce
+  // baseline recorded at epoch 0 would never refresh — rejected.
+  EXPECT_THROW(CommModeSelector(CommMode::kDynamic, 1),
+               std::invalid_argument);
   // Static modes ignore the interval entirely.
   EXPECT_NO_THROW(CommModeSelector(CommMode::kAllReduce, 0));
+  EXPECT_NO_THROW(CommModeSelector(CommMode::kAllGather, 1));
+}
+
+TEST(CommModeSelector, ProbeComparesAgainstFreshBaseline) {
+  // Regression: the baseline must come from the most recent all-reduce
+  // epoch, not a stale earlier one. Epoch 0 is slow (1.0s), epoch 1 is
+  // fast (0.2s); the probe at epoch 2 (0.5s) beats the stale epoch-0 time
+  // but not the fresh epoch-1 baseline, so the selector must not switch.
+  CommModeSelector selector(CommMode::kDynamic, 2);
+  selector.record_epoch(0, 1.0);
+  selector.record_epoch(1, 0.2);
+  ASSERT_TRUE(selector.use_allgather(2));
+  selector.record_epoch(2, 0.5);
+  EXPECT_FALSE(selector.switched_to_allgather());
+  // A later probe that beats its fresh baseline still switches.
+  selector.record_epoch(3, 1.0);
+  ASSERT_TRUE(selector.use_allgather(4));
+  selector.record_epoch(4, 0.5);
+  EXPECT_TRUE(selector.switched_to_allgather());
 }
 
 }  // namespace

@@ -98,7 +98,8 @@ TEST(ReportJson, ContainsAllSections) {
   for (const char* field :
        {"\"strategy\"", "\"num_nodes\":2", "\"epochs\":4", "\"ranking\"",
         "\"comm\"", "\"per_kind\"", "\"epoch_log\"", "\"mean_loss\"",
-        "\"allreduce_fraction\"", "\"total_sim_seconds\""}) {
+        "\"allreduce_fraction\"", "\"total_sim_seconds\"",
+        "\"host_threads\"", "\"compute_cpu_seconds\"", "\"host_speedup\""}) {
     EXPECT_NE(json.find(field), std::string::npos) << field;
   }
   // Structurally balanced.

@@ -1,16 +1,25 @@
-#include "serve/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
-namespace dynkge::serve {
+// The serving layer keeps its historical spelling of the shared pool type.
+#include "serve/thread_pool.hpp"
+static_assert(std::is_same_v<dynkge::serve::ThreadPool,
+                             dynkge::util::ThreadPool>,
+              "serve::ThreadPool must alias the shared util::ThreadPool");
+
+namespace dynkge::util {
 namespace {
 
 TEST(ThreadPool, RunsSubmittedTasks) {
@@ -42,6 +51,10 @@ TEST(ThreadPool, ZeroThreadsClampsToOne) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.size(), 1u);
   EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
 }
 
 TEST(ThreadPool, DestructorDrainsQueuedTasks) {
@@ -103,5 +116,86 @@ TEST(ThreadPool, ParallelForPropagatesExceptions) {
                std::runtime_error);
 }
 
+// --- run_cohort: the primitive comm::Cluster runs its rank programs on ---
+
+TEST(ThreadPool, RunCohortCoSchedulesBeyondPoolSize) {
+  // All 8 bodies rendezvous before any may finish. A FIFO pool with only 2
+  // workers would run 2 bodies, block them forever, and deadlock — the
+  // cohort must therefore be genuinely co-scheduled.
+  ThreadPool pool(2);
+  constexpr std::size_t kRanks = 8;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t arrived = 0;
+  pool.run_cohort(kRanks, [&](std::size_t) {
+    std::unique_lock<std::mutex> lock(mu);
+    ++arrived;
+    cv.notify_all();
+    cv.wait(lock, [&] { return arrived == kRanks; });
+  });
+  EXPECT_EQ(arrived, kRanks);
+}
+
+TEST(ThreadPool, RunCohortRunsEachRankExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> runs(16);
+  pool.run_cohort(runs.size(), [&](std::size_t rank) { ++runs[rank]; });
+  for (const auto& r : runs) EXPECT_EQ(r.load(), 1);
+}
+
+TEST(ThreadPool, RunCohortZeroRanksIsANoop) {
+  ThreadPool pool(2);
+  pool.run_cohort(0, [](std::size_t) { ADD_FAILURE(); });
+}
+
+TEST(ThreadPool, RunCohortPropagatesRankBodyException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.run_cohort(6, [&](std::size_t rank) {
+      if (rank == 3) throw std::runtime_error("rank 3 failed");
+      ++completed;
+    });
+    FAIL() << "expected the rank body's exception to propagate";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "rank 3 failed");
+  }
+  // Sibling ranks are not torn down by one rank's failure.
+  EXPECT_EQ(completed.load(), 5);
+}
+
+TEST(ThreadPool, RunCohortRethrowsLowestRankError) {
+  // Every rank fails; the caller must deterministically see rank 0's
+  // error, not whichever thread happened to throw first.
+  ThreadPool pool(4);
+  try {
+    pool.run_cohort(4, [](std::size_t rank) {
+      throw std::runtime_error("rank " + std::to_string(rank));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "rank 0");
+  }
+}
+
+TEST(ThreadPool, RunCohortWhilePoolIsBusy) {
+  // Workers are pinned by slow foreign tasks; the cohort must still make
+  // progress (overflow threads) and the foreign tasks still complete.
+  ThreadPool pool(2);
+  std::atomic<int> foreign{0};
+  std::vector<std::future<void>> pending;
+  for (int i = 0; i < 2; ++i) {
+    pending.push_back(pool.submit([&foreign] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      ++foreign;
+    }));
+  }
+  std::atomic<int> ranks_run{0};
+  pool.run_cohort(4, [&](std::size_t) { ++ranks_run; });
+  for (auto& f : pending) f.get();
+  EXPECT_EQ(ranks_run.load(), 4);
+  EXPECT_EQ(foreign.load(), 2);
+}
+
 }  // namespace
-}  // namespace dynkge::serve
+}  // namespace dynkge::util

@@ -5,7 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
 #include "kge/synthetic.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dynkge::core {
 namespace {
@@ -48,6 +54,17 @@ TEST(Trainer, RejectsBadConfig) {
   config = fast_config(1);
   config.strategy.negatives_used = 5;
   config.strategy.negatives_sampled = 2;
+  EXPECT_THROW(DistributedTrainer(tiny_dataset(), config),
+               std::invalid_argument);
+  config = fast_config(1);
+  config.host_threads = -1;
+  EXPECT_THROW(DistributedTrainer(tiny_dataset(), config),
+               std::invalid_argument);
+  // Dynamic mode with probe_interval 1 would never refresh its all-reduce
+  // baseline; the trainer rejects it up front rather than at epoch time.
+  config = fast_config(2);
+  config.strategy = StrategyConfig::drs_1bit(2);
+  config.strategy.dynamic_probe_interval = 1;
   EXPECT_THROW(DistributedTrainer(tiny_dataset(), config),
                std::invalid_argument);
 }
@@ -318,6 +335,87 @@ TEST(Trainer, WarmStartRejectsShapeMismatch) {
   config.warm_start = report.model;
   EXPECT_THROW(DistributedTrainer(tiny_dataset(), config).train(),
                std::invalid_argument);
+}
+
+// --- Host parallelism: wall-time knob only, never a numerics knob ---
+
+bool same_floats(std::span<const float> a, std::span<const float> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+TEST(Trainer, HostThreadCountIsBitDeterministic) {
+  // The simulated cluster must produce byte-identical models and epoch
+  // logs no matter how many host threads co-schedule the ranks: fewer
+  // workers than ranks, matching, and more than ranks.
+  TrainConfig config = fast_config(4);
+  config.strategy = StrategyConfig::rs_1bit(2);
+  std::vector<TrainReport> reports;
+  for (const int host_threads : {1, 2, 8}) {
+    config.host_threads = host_threads;
+    reports.push_back(DistributedTrainer(tiny_dataset(), config).train());
+    EXPECT_EQ(reports.back().host_threads, host_threads);
+  }
+  const TrainReport& base = reports.front();
+  ASSERT_NE(base.model, nullptr);
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    const TrainReport& other = reports[i];
+    EXPECT_TRUE(other.replicas_consistent);
+    ASSERT_EQ(base.epochs, other.epochs) << "host_threads run " << i;
+    for (int e = 0; e < base.epochs; ++e) {
+      EXPECT_DOUBLE_EQ(base.epoch_log[e].mean_loss,
+                       other.epoch_log[e].mean_loss);
+      EXPECT_DOUBLE_EQ(base.epoch_log[e].val_accuracy,
+                       other.epoch_log[e].val_accuracy);
+      EXPECT_DOUBLE_EQ(base.epoch_log[e].lr, other.epoch_log[e].lr);
+      EXPECT_EQ(base.epoch_log[e].used_allgather,
+                other.epoch_log[e].used_allgather);
+      EXPECT_EQ(base.epoch_log[e].rows_sent, other.epoch_log[e].rows_sent);
+      EXPECT_EQ(base.epoch_log[e].rows_before_selection,
+                other.epoch_log[e].rows_before_selection);
+    }
+    ASSERT_NE(other.model, nullptr);
+    EXPECT_TRUE(same_floats(base.model->entities().flat(),
+                            other.model->entities().flat()))
+        << "entity embeddings diverged at host_threads run " << i;
+    EXPECT_TRUE(same_floats(base.model->relations().flat(),
+                            other.model->relations().flat()))
+        << "relation embeddings diverged at host_threads run " << i;
+  }
+}
+
+TEST(Trainer, HostTelemetryFilled) {
+  TrainConfig config = fast_config(2);
+  config.max_epochs = 4;
+  config.host_threads = 2;
+  config.strategy = StrategyConfig::baseline_allreduce(2);
+  const auto report = DistributedTrainer(tiny_dataset(), config).train();
+  EXPECT_EQ(report.host_threads, 2);
+  EXPECT_GT(report.compute_cpu_seconds, 0.0);
+  EXPECT_GT(report.host_speedup(), 0.0);
+}
+
+TEST(Trainer, SharedHostPoolMatchesPrivatePool) {
+  // A caller-owned pool (e.g. one shared with the serving layer) must not
+  // change the trajectory, and must be reusable across trainings.
+  TrainConfig config = fast_config(2);
+  config.max_epochs = 5;
+  config.strategy = StrategyConfig::rs(2);
+  const auto solo = DistributedTrainer(tiny_dataset(), config).train();
+
+  auto pool = std::make_shared<util::ThreadPool>(2);
+  config.host_pool = pool;
+  const auto first = DistributedTrainer(tiny_dataset(), config).train();
+  const auto second = DistributedTrainer(tiny_dataset(), config).train();
+  EXPECT_EQ(first.host_threads, 2);
+  ASSERT_EQ(solo.epochs, first.epochs);
+  ASSERT_EQ(solo.epochs, second.epochs);
+  for (int e = 0; e < solo.epochs; ++e) {
+    EXPECT_DOUBLE_EQ(solo.epoch_log[e].mean_loss,
+                     first.epoch_log[e].mean_loss);
+    EXPECT_DOUBLE_EQ(solo.epoch_log[e].mean_loss,
+                     second.epoch_log[e].mean_loss);
+  }
 }
 
 TEST(Trainer, SelectionIntroducesSparsity) {

@@ -8,6 +8,9 @@
 //                    drs1bit|full] [--nodes N] [--rank N] [--batch N]
 //                   [--lr X] [--tolerance N] [--max-epochs N] [--seed N]
 //                   [--model complex|distmult|transe]
+//                   [--host-threads N]  host threads the simulated ranks
+//                                       run on (0 = all cores; results are
+//                                       bit-identical for every value)
 //                   [--save-model file] [--report file.json]
 //   dynkge eval     --data <dir> --model-file <file>       evaluate a saved
 //                                                          model
@@ -168,6 +171,8 @@ int cmd_train(const util::ArgParser& args) {
   config.lr.tolerance = static_cast<int>(args.get_int("tolerance", 15));
   config.max_epochs = static_cast<int>(args.get_int("max-epochs", 200));
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
+  config.host_threads =
+      static_cast<int>(args.get_int("host-threads", 0));  // 0 = all cores
   const int negatives = static_cast<int>(args.get_int("negatives", 4));
   config.strategy = strategy_by_name(
       args.get_string("strategy", "full"), negatives,
@@ -180,7 +185,11 @@ int cmd_train(const util::ArgParser& args) {
   std::cout << "epochs: " << report.epochs
             << "  TT(sim): " << report.total_sim_seconds << " s"
             << "  TCA: " << report.tca << " %"
-            << "  MRR: " << report.ranking.mrr << "\n";
+            << "  MRR: " << report.ranking.mrr << "\n"
+            << "host: " << report.wall_seconds << " s wall on "
+            << report.host_threads << " threads, "
+            << report.compute_cpu_seconds << " s rank compute ("
+            << report.host_speedup() << "x vs serialized)\n";
 
   const std::string model_path = args.get_string("save-model", "");
   if (!model_path.empty()) {
