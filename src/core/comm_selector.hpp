@@ -29,6 +29,14 @@ class CommModeSelector {
     return transport_for(epoch) == Transport::kAllGather;
   }
 
+  /// Will the upcoming epoch (0-based) run as a dynamic-mode probe? Query
+  /// before record_epoch(), like transport_for(). Always false for static
+  /// modes and after the permanent switch. Telemetry tags probe epochs in
+  /// the event stream so offline analysis can replay the DRS decisions.
+  bool is_probe(int epoch) const {
+    return mode_ == CommMode::kDynamic && !switched_ && is_probe_epoch(epoch);
+  }
+
   /// Report the finished epoch's communication seconds (cluster max).
   void record_epoch(int epoch, double comm_seconds);
 

@@ -7,9 +7,12 @@ GradExchange::GradExchange(comm::Communicator& comm,
                            std::int32_t num_entities,
                            std::int32_t entity_width,
                            std::int32_t num_relations,
-                           std::int32_t relation_width)
+                           std::int32_t relation_width,
+                           obs::TraceWriter* trace, int trace_tid)
     : comm_(comm),
       strategy_(strategy),
+      trace_(trace),
+      trace_tid_(trace_tid),
       entity_codec_(strategy.quant, strategy.one_bit_scale, entity_width),
       relation_codec_(strategy.quant, strategy.one_bit_scale, relation_width),
       raw_entity_codec_(QuantMode::kNone, strategy.one_bit_scale,
@@ -58,7 +61,10 @@ std::size_t GradExchange::exchange_matrix(
   }
 
   std::vector<std::byte> encoded;
-  codec.encode_grad(local, encoded, rng);
+  {
+    const obs::TraceSpan span(trace_, "quantize.encode", trace_tid_);
+    codec.encode_grad(local, encoded, rng);
+  }
 
   std::vector<std::byte> gathered;
   std::vector<std::size_t> counts;
@@ -70,11 +76,24 @@ std::size_t GradExchange::exchange_matrix(
   //    server link carries every worker's volume, the bottleneck the
   //    paper's introduction describes), which merges and broadcasts the
   //    merged rows back.
-  comm_.allgatherv_bytes(encoded, gathered, counts,
-                         /*charge_cost=*/transport == Transport::kAllGather);
+  {
+    const obs::TraceSpan span(trace_,
+                              transport == Transport::kAllGather
+                                  ? "exchange.allgather"
+                              : transport == Transport::kAllReduce
+                                  ? "exchange.allreduce"
+                                  : "exchange.param_server",
+                              trace_tid_);
+    comm_.allgatherv_bytes(encoded, gathered, counts,
+                           /*charge_cost=*/transport ==
+                               Transport::kAllGather);
+  }
   std::size_t total_encoded = 0;
   for (const std::size_t c : counts) total_encoded += c;
-  codec.decode_accumulate(gathered, merged);
+  {
+    const obs::TraceSpan span(trace_, "quantize.decode", trace_tid_);
+    codec.decode_accumulate(gathered, merged);
+  }
 
   switch (transport) {
     case Transport::kAllGather:

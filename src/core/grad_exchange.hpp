@@ -34,6 +34,7 @@
 #include "core/quantize.hpp"
 #include "core/strategy_config.hpp"
 #include "kge/model.hpp"
+#include "obs/trace.hpp"
 
 namespace dynkge::core {
 
@@ -56,9 +57,12 @@ struct ExchangeResult {
 
 class GradExchange {
  public:
+  /// `trace` (optional) records quantize/collective/dequantize spans on
+  /// track `trace_tid` (the trainer passes its rank).
   GradExchange(comm::Communicator& comm, const StrategyConfig& strategy,
                std::int32_t num_entities, std::int32_t entity_width,
-               std::int32_t num_relations, std::int32_t relation_width);
+               std::int32_t num_relations, std::int32_t relation_width,
+               obs::TraceWriter* trace = nullptr, int trace_tid = 0);
 
   /// Merge `local` across all ranks into `merged` (cluster average).
   /// `local` may be mutated (error feedback folds residuals into it).
@@ -81,6 +85,8 @@ class GradExchange {
 
   comm::Communicator& comm_;
   StrategyConfig strategy_;
+  obs::TraceWriter* trace_;
+  int trace_tid_;
   RowCodec entity_codec_;
   RowCodec relation_codec_;
   RowCodec raw_entity_codec_;    ///< full-precision codec for all-reduce epochs

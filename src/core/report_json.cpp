@@ -7,7 +7,8 @@
 
 namespace dynkge::core {
 
-std::string report_to_json(const TrainReport& report) {
+std::string report_to_json(const TrainReport& report,
+                           const obs::MetricsRegistry* metrics) {
   util::JsonWriter json;
   json.begin_object();
   json.kv("strategy", report.strategy_label);
@@ -84,16 +85,20 @@ std::string report_to_json(const TrainReport& report) {
     json.end_object();
   }
   json.end_array();
+  if (metrics != nullptr) {
+    json.key("metrics").raw(metrics->to_json());
+  }
   json.end_object();
   return json.str();
 }
 
-void write_report_json(const TrainReport& report, const std::string& path) {
+void write_report_json(const TrainReport& report, const std::string& path,
+                       const obs::MetricsRegistry* metrics) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     throw std::runtime_error("write_report_json: cannot open " + path);
   }
-  out << report_to_json(report) << '\n';
+  out << report_to_json(report, metrics) << '\n';
   if (!out) {
     throw std::runtime_error("write_report_json: write failed for " + path);
   }

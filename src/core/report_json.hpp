@@ -5,13 +5,18 @@
 #include <string>
 
 #include "core/trainer.hpp"
+#include "obs/metrics.hpp"
 
 namespace dynkge::core {
 
 /// Serialize the full report (summary + per-epoch log + traffic stats).
-std::string report_to_json(const TrainReport& report);
+/// When `metrics` is non-null its snapshot is embedded under a "metrics"
+/// key, so one report file carries the run's whole registry.
+std::string report_to_json(const TrainReport& report,
+                           const obs::MetricsRegistry* metrics = nullptr);
 
-/// Write report_to_json(report) to `path`. Throws on I/O failure.
-void write_report_json(const TrainReport& report, const std::string& path);
+/// Write report_to_json(report, metrics) to `path`. Throws on I/O failure.
+void write_report_json(const TrainReport& report, const std::string& path,
+                       const obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace dynkge::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "core/comm_selector.hpp"
@@ -12,6 +13,7 @@
 #include "kge/adam.hpp"
 #include "kge/loss.hpp"
 #include "kge/model_factory.hpp"
+#include "util/json_writer.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -78,6 +80,16 @@ TrainReport DistributedTrainer::train() {
   const util::Stopwatch wall;
   const int num_nodes = config_.num_nodes;
   const StrategyConfig& strategy = config_.strategy;
+  const obs::TelemetrySinks& tel = config_.telemetry;
+
+  // Track layout: tid = rank for the simulated ranks, tid = num_nodes for
+  // host-side (pre-cluster) work.
+  if (tel.trace != nullptr) {
+    for (int r = 0; r < num_nodes; ++r) {
+      tel.trace->set_thread_name(r, "rank " + std::to_string(r));
+    }
+    tel.trace->set_thread_name(num_nodes, "host");
+  }
 
   // ---- Partition the training triples (host side, deterministic) ------
   TripleList train_triples(dataset_.train().begin(), dataset_.train().end());
@@ -87,6 +99,8 @@ TrainReport DistributedTrainer::train() {
   std::vector<TripleList> shards;
   RelationPartition relation_partition;
   if (strategy.relation_partition) {
+    const obs::TraceSpan span(tel.trace, "relation_partition.setup",
+                              num_nodes);
     relation_partition = partition_by_relation(
         train_triples, num_nodes, dataset_.num_relations());
     shards = relation_partition.shards;
@@ -166,7 +180,7 @@ TrainReport DistributedTrainer::train() {
 
     GradExchange exchange(comm, strategy, dataset_.num_entities(),
                           model->entities().width(), dataset_.num_relations(),
-                          model->relations().width());
+                          model->relations().width(), tel.trace, rank);
     CommModeSelector selector(strategy.comm, strategy.dynamic_probe_interval);
     PlateauScheduler scheduler(config_.lr, num_nodes);
     const kge::NegativeSampler sampler(dataset_);
@@ -180,10 +194,30 @@ TrainReport DistributedTrainer::train() {
     GradSelector relation_selector(strategy.selection,
                                    strategy.selection_residual);
 
+    // Registry instruments are resolved once per rank (find-or-create
+    // takes a mutex); recording through the cached pointers is a relaxed
+    // atomic per event.
+    obs::Counter* m_steps = nullptr;
+    obs::Counter* m_bytes = nullptr;
+    obs::Counter* m_rows_sent = nullptr;
+    obs::Counter* m_ss_scored = nullptr;
+    obs::Counter* m_ss_kept = nullptr;
+    obs::LatencyHistogram* m_step_seconds = nullptr;
+    if (tel.metrics != nullptr) {
+      m_steps = &tel.metrics->counter("train.steps");
+      m_bytes = &tel.metrics->counter("train.bytes_on_wire");
+      m_rows_sent = &tel.metrics->counter("train.entity_rows_sent");
+      m_ss_scored = &tel.metrics->counter("train.ss_candidates_scored");
+      m_ss_kept = &tel.metrics->counter("train.ss_candidates_kept");
+      m_step_seconds = &tel.metrics->histogram("train.step_compute_seconds");
+    }
+
     for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
       const double sim_epoch_start = comm.sim_now();
       const double comm_epoch_start = comm.stats().total_modeled_seconds();
+      const bool probe_epoch = selector.is_probe(epoch);
       const Transport transport = selector.transport_for(epoch);
+      const obs::TraceSpan epoch_span(tel.trace, "epoch", rank);
 
       Rng epoch_rng(util::derive_seed(config_.seed, rank, epoch, 0xE0u));
       shuffle_triples(shard, epoch_rng);
@@ -191,6 +225,8 @@ TrainReport DistributedTrainer::train() {
       double loss_sum = 0.0;
       std::size_t loss_count = 0;
       double rows_before_sum = 0.0, rows_sent_sum = 0.0, rows_merged_sum = 0.0;
+      std::size_t epoch_bytes = 0;
+      std::size_t ss_scored_sum = 0, ss_kept_sum = 0;
 
       const double lr = scheduler.lr();
       entity_opt.set_learning_rate(lr);
@@ -215,38 +251,59 @@ TrainReport DistributedTrainer::train() {
               local_examples == 0 ? 0.0f
                                   : 1.0f / static_cast<float>(local_examples);
 
+          // Strategy 5 first, for the whole batch: the model is static
+          // during gradient accumulation (gradients go to `local`, not the
+          // parameters) and scoring consumes no RNG, so selecting every
+          // positive's negatives up front is bit-identical to interleaving
+          // selection with the loss pass — and gives the trace one clean
+          // hard-negative span per step.
           TripleList negatives;
-          for (std::size_t i = begin; i < end; ++i) {
-            const Triple& positive = shard[i];
-            negatives.clear();
-            select_hard_negatives(*model, sampler, positive,
-                                  strategy.negatives_sampled,
-                                  strategy.negatives_used, epoch_rng,
-                                  negatives);
-
-            const auto pos = kge::logistic_loss(
-                model->score(positive.head, positive.relation, positive.tail),
-                +1);
-            loss_sum += pos.loss;
-            if (std::fabs(pos.dscore) >= kCoeffUnderflow) {
-              model->accumulate_gradients(positive.head, positive.relation,
-                                          positive.tail,
-                                          static_cast<float>(pos.dscore) *
-                                              inv_examples,
-                                          local);
+          std::vector<std::size_t> negative_offsets;
+          negative_offsets.reserve(end - begin + 1);
+          negative_offsets.push_back(0);
+          {
+            const obs::TraceSpan span(tel.trace, "hard_negatives", rank);
+            for (std::size_t i = begin; i < end; ++i) {
+              ss_scored_sum += static_cast<std::size_t>(select_hard_negatives(
+                  *model, sampler, shard[i], strategy.negatives_sampled,
+                  strategy.negatives_used, epoch_rng, negatives));
+              negative_offsets.push_back(negatives.size());
             }
-            for (const Triple& negative : negatives) {
-              const auto neg = kge::logistic_loss(
-                  model->score(negative.head, negative.relation,
-                               negative.tail),
-                  -1);
-              loss_sum += neg.loss;
-              if (std::fabs(neg.dscore) < kCoeffUnderflow) continue;
-              model->accumulate_gradients(negative.head, negative.relation,
-                                          negative.tail,
-                                          static_cast<float>(neg.dscore) *
-                                              inv_examples,
-                                          local);
+          }
+          ss_kept_sum += negatives.size();
+
+          {
+            const obs::TraceSpan span(tel.trace, "forward_backward", rank);
+            for (std::size_t i = begin; i < end; ++i) {
+              const Triple& positive = shard[i];
+              const auto pos = kge::logistic_loss(
+                  model->score(positive.head, positive.relation,
+                               positive.tail),
+                  +1);
+              loss_sum += pos.loss;
+              if (std::fabs(pos.dscore) >= kCoeffUnderflow) {
+                model->accumulate_gradients(positive.head, positive.relation,
+                                            positive.tail,
+                                            static_cast<float>(pos.dscore) *
+                                                inv_examples,
+                                            local);
+              }
+              const std::size_t neg_end = negative_offsets[i - begin + 1];
+              for (std::size_t n = negative_offsets[i - begin]; n < neg_end;
+                   ++n) {
+                const Triple& negative = negatives[n];
+                const auto neg = kge::logistic_loss(
+                    model->score(negative.head, negative.relation,
+                                 negative.tail),
+                    -1);
+                loss_sum += neg.loss;
+                if (std::fabs(neg.dscore) < kCoeffUnderflow) continue;
+                model->accumulate_gradients(negative.head, negative.relation,
+                                            negative.tail,
+                                            static_cast<float>(neg.dscore) *
+                                                inv_examples,
+                                            local);
+              }
             }
           }
           loss_count += local_examples;
@@ -254,6 +311,7 @@ TrainReport DistributedTrainer::train() {
           // ---- strategy 2: gradient-row selection ----------------------
           rows_before_sum += static_cast<double>(local.entity.num_rows());
           if (strategy.selection != SelectionMode::kNone) {
+            const obs::TraceSpan span(tel.trace, "grad_select", rank);
             entity_selector.apply(local.entity, epoch_rng);
             if (!strategy.relation_partition) {
               relation_selector.apply(local.relation, epoch_rng);
@@ -270,11 +328,13 @@ TrainReport DistributedTrainer::train() {
             exchange.exchange(local, merged, plan, epoch_rng);
         rows_sent_sum += static_cast<double>(xresult.entity_rows_sent);
         rows_merged_sum += static_cast<double>(xresult.entity_rows_merged);
+        epoch_bytes += xresult.bytes_on_wire;
 
         // ---- optimizer step (measured compute) ------------------------
         double update_seconds = 0.0;
         {
           ThreadCpuTimer timer(update_seconds);
+          const obs::TraceSpan span(tel.trace, "adam_update", rank);
           entity_opt.begin_step();
           relation_opt.begin_step();
           for (const std::int32_t id : merged.entity.sorted_ids()) {
@@ -301,6 +361,13 @@ TrainReport DistributedTrainer::train() {
           }
         }
         charge_compute(update_seconds);
+
+        if (m_steps != nullptr) {
+          m_steps->add(1);
+          m_bytes->add(xresult.bytes_on_wire);
+          m_rows_sent->add(xresult.entity_rows_sent);
+          m_step_seconds->record(compute_seconds + update_seconds);
+        }
       }
 
       // ---- validation --------------------------------------------------
@@ -311,6 +378,8 @@ TrainReport DistributedTrainer::train() {
       // triples of its own relations and the accuracies are combined as a
       // pair-weighted average.
       double val_accuracy = 0.0;
+      std::optional<obs::TraceSpan> val_span;
+      val_span.emplace(tel.trace, "validation", rank);
       if (strategy.relation_partition) {
         double val_seconds = 0.0;
         double weighted = 0.0, pairs = 0.0;
@@ -351,6 +420,7 @@ TrainReport DistributedTrainer::train() {
         }
         val_accuracy = comm.allreduce_scalar(val_accuracy, ScalarOp::kMax);
       }
+      val_span.reset();
 
       // ---- epoch accounting (cluster maxima) ---------------------------
       const double epoch_comm = comm.allreduce_scalar(
@@ -365,6 +435,48 @@ TrainReport DistributedTrainer::train() {
 
       selector.record_epoch(epoch, epoch_comm);
       scheduler.observe(val_accuracy);
+
+      // ---- telemetry: one structured event per (epoch, rank) -----------
+      // Emitted after record_epoch so `switched_to_allgather` reflects the
+      // decision this epoch's probe produced. Loss/accuracy/times are the
+      // allreduced cluster values, identical on every rank.
+      if (tel.events != nullptr) {
+        util::JsonWriter json;
+        json.begin_object()
+            .kv("epoch", epoch)
+            .kv("rank", rank)
+            .kv("comm_mode", to_string(strategy.comm))
+            .kv("transport", to_string(transport))
+            .kv("probe", probe_epoch)
+            .kv("switched_to_allgather", selector.switched_to_allgather())
+            .kv("selection", to_string(strategy.selection))
+            .kv("keep_rate", rows_before_sum > 0.0
+                                 ? rows_sent_sum / rows_before_sum
+                                 : 1.0)
+            .kv("quant", to_string(strategy.quant))
+            .kv("bytes_on_wire", epoch_bytes)
+            .kv("ss_candidates_scored", ss_scored_sum)
+            .kv("ss_candidates_kept", ss_kept_sum)
+            .kv("loss", cluster_loss)
+            .kv("lr", lr)
+            .kv("val_accuracy", val_accuracy)
+            .kv("sim_seconds", epoch_sim)
+            .kv("comm_seconds", epoch_comm)
+            .end_object();
+        tel.events->write_line(json.str());
+      }
+      if (m_ss_scored != nullptr) {
+        m_ss_scored->add(ss_scored_sum);
+        m_ss_kept->add(ss_kept_sum);
+      }
+      if (tel.metrics != nullptr && rank == 0) {
+        tel.metrics->counter("train.epochs").add(1);
+        tel.metrics->gauge("train.loss").set(cluster_loss);
+        tel.metrics->gauge("train.val_accuracy").set(val_accuracy);
+        tel.metrics->gauge("train.lr").set(lr);
+        tel.metrics->histogram("train.epoch_sim_seconds").record(epoch_sim);
+        tel.metrics->histogram("train.epoch_comm_seconds").record(epoch_comm);
+      }
 
       if (rank == 0) {
         EpochRecord record;

@@ -38,6 +38,7 @@
 #include "core/strategy_config.hpp"
 #include "kge/dataset.hpp"
 #include "kge/evaluator.hpp"
+#include "obs/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dynkge::core {
@@ -82,6 +83,12 @@ struct TrainConfig {
   bool compute_final_metrics = true;    ///< TCA + MRR after training
   bool trace_communication = false;     ///< record rank 0's collective
                                         ///< timeline into the report
+
+  /// Observability sinks (src/obs/): metrics registry, Chrome trace-event
+  /// writer, per-epoch JSONL event stream. All non-owning and default-off;
+  /// null members cost a few pointer checks per step. Telemetry only reads
+  /// training state — results are bit-identical with any sink enabled.
+  obs::TelemetrySinks telemetry;
 
   comm::CostModelParams network = comm::CostModelParams::aries();
 };

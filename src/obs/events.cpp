@@ -1,0 +1,29 @@
+#include "obs/events.hpp"
+
+#include <stdexcept>
+
+namespace dynkge::obs {
+
+EventLog::EventLog(const std::string& path) : out_(path, std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("EventLog: cannot open " + path);
+  }
+}
+
+void EventLog::write_line(const std::string& json) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_ << json << '\n';
+  ++lines_;
+}
+
+std::uint64_t EventLog::lines_written() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+void EventLog::flush() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_.flush();
+}
+
+}  // namespace dynkge::obs

@@ -1,0 +1,40 @@
+// EventLog — append-only JSONL stream for structured run events.
+//
+// One line per event, each a self-contained JSON object, so a whole
+// training run can be replayed and plotted offline (`jq`, pandas,
+// `tools/check_telemetry.py`). Writers are cold-path (once per epoch per
+// rank); a mutex serializes lines so concurrent ranks never interleave
+// bytes within a line.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+namespace dynkge::obs {
+
+class EventLog {
+ public:
+  /// Open (truncate) `path` for writing. Throws if it cannot be opened.
+  explicit EventLog(const std::string& path);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Append one JSON object as its own line. `json` must be a complete
+  /// serialized object without a trailing newline. Thread-safe.
+  void write_line(const std::string& json);
+
+  std::uint64_t lines_written() const;
+
+  /// Flush buffered lines to disk (also happens on destruction).
+  void flush();
+
+ private:
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace dynkge::obs

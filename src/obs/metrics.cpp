@@ -1,0 +1,160 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/json_writer.hpp"
+
+namespace dynkge::obs {
+namespace {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "dynkge_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace
+
+void MetricsRegistry::check_kind(const std::string& name, Kind kind) const {
+  const auto it = kinds_.find(name);
+  if (it != kinds_.end() && it->second != kind) {
+    throw std::invalid_argument(
+        "MetricsRegistry: '" + name +
+        "' already registered as a different instrument kind");
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  check_kind(name, Kind::kCounter);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+    kinds_[name] = Kind::kCounter;
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  check_kind(name, Kind::kGauge);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+    kinds_[name] = Kind::kGauge;
+  }
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  check_kind(name, Kind::kHistogram);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<LatencyHistogram>();
+    kinds_[name] = Kind::kHistogram;
+  }
+  return *slot;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  util::JsonWriter json;
+  json.begin_object();
+
+  json.key("counters").begin_object();
+  for (const auto& [name, counter] : counters_) {
+    json.kv(name, static_cast<std::int64_t>(counter->value()));
+  }
+  json.end_object();
+
+  json.key("gauges").begin_object();
+  for (const auto& [name, gauge] : gauges_) {
+    json.kv(name, gauge->value());
+  }
+  json.end_object();
+
+  json.key("histograms").begin_object();
+  for (const auto& [name, histogram] : histograms_) {
+    json.key(name).begin_object();
+    json.kv("count", static_cast<std::int64_t>(histogram->count()));
+    json.kv("total_seconds", histogram->total_seconds());
+    json.kv("mean_seconds", histogram->mean_seconds());
+    json.kv("p50_seconds", histogram->quantile_seconds(0.50));
+    json.kv("p95_seconds", histogram->quantile_seconds(0.95));
+    json.kv("p99_seconds", histogram->quantile_seconds(0.99));
+    json.key("buckets").begin_array();
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      const std::uint64_t count = histogram->bucket_count(b);
+      if (count == 0) continue;
+      json.begin_object();
+      json.kv("floor_seconds", LatencyHistogram::bucket_floor_seconds(b));
+      json.kv("count", static_cast<std::int64_t>(count));
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+
+  json.end_object();
+  return json.str();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + format_double(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      cumulative += histogram->bucket_count(b);
+      const double upper = LatencyHistogram::bucket_upper_seconds(b);
+      const std::string le =
+          b + 1 >= LatencyHistogram::kBuckets ? "+Inf" : format_double(upper);
+      out += p + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) +
+             "\n";
+    }
+    out += p + "_sum " + format_double(histogram->total_seconds()) + "\n";
+    out += p + "_count " + std::to_string(histogram->count()) + "\n";
+  }
+  return out;
+}
+
+void write_metrics(const MetricsRegistry& registry, const std::string& path) {
+  const bool prometheus =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_metrics: cannot open " + path);
+  }
+  out << (prometheus ? registry.to_prometheus() : registry.to_json() + "\n");
+  if (!out) {
+    throw std::runtime_error("write_metrics: write failed for " + path);
+  }
+}
+
+}  // namespace dynkge::obs

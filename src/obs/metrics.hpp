@@ -1,0 +1,87 @@
+// MetricsRegistry — named counters, gauges and log-bucketed histograms
+// shared by training and serving.
+//
+// Registration (counter()/gauge()/histogram()) takes a mutex once; callers
+// cache the returned reference and the hot path is then a single relaxed
+// atomic per record. References stay valid for the registry's lifetime
+// (instruments are heap-allocated nodes, never moved).
+//
+// Snapshots export the whole registry as JSON (to_json) or as the
+// Prometheus text exposition format (to_prometheus); write_metrics picks
+// the format from the file extension (.prom -> Prometheus, else JSON).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/histogram.hpp"
+
+namespace dynkge::obs {
+
+/// Monotonically increasing event count. Thread-safe, wait-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value. Thread-safe.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name. The returned reference is stable for the
+  /// registry's lifetime. A name identifies one instrument kind: asking
+  /// for an existing name with a different kind throws.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,...}}}
+  /// Names iterate in sorted order, so the output is deterministic for a
+  /// given set of values.
+  std::string to_json() const;
+
+  /// Prometheus text exposition format. Metric names are prefixed with
+  /// "dynkge_" and sanitized ('.'/'-' -> '_'); histograms emit cumulative
+  /// _bucket{le=...} series plus _sum and _count.
+  std::string to_prometheus() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  void check_kind(const std::string& name, Kind kind) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Kind> kinds_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/// Write a snapshot to `path`: Prometheus text when the extension is
+/// ".prom", JSON otherwise. Throws on I/O failure.
+void write_metrics(const MetricsRegistry& registry, const std::string& path);
+
+}  // namespace dynkge::obs

@@ -1,0 +1,27 @@
+// TelemetrySinks — the bundle of optional observability outputs a
+// subsystem accepts (all non-owning, all default-off).
+//
+// Null members are disabled: every instrumentation site guards on the
+// pointer, so a default-constructed TelemetrySinks costs a handful of
+// pointer checks per step and nothing else. Telemetry only *reads*
+// training state — it never touches RNG streams or numerics — so enabling
+// any sink leaves results bit-identical (asserted by tests).
+#pragma once
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dynkge::obs {
+
+struct TelemetrySinks {
+  MetricsRegistry* metrics = nullptr;  ///< counters / gauges / histograms
+  TraceWriter* trace = nullptr;        ///< Chrome trace-event spans
+  EventLog* events = nullptr;          ///< per-epoch JSONL stream
+
+  bool enabled() const {
+    return metrics != nullptr || trace != nullptr || events != nullptr;
+  }
+};
+
+}  // namespace dynkge::obs

@@ -1,0 +1,70 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/json_writer.hpp"
+
+namespace dynkge::obs {
+
+void TraceWriter::add_complete_event(std::string_view name, int tid,
+                                     double ts_us, double dur_us) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{std::string(name), tid, ts_us, dur_us});
+}
+
+void TraceWriter::set_thread_name(int tid, const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  thread_names_[tid] = name;
+}
+
+std::size_t TraceWriter::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceWriter::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+  for (const auto& [tid, name] : thread_names_) {
+    json.begin_object();
+    json.kv("name", "thread_name");
+    json.kv("ph", "M");
+    json.kv("pid", 0);
+    json.kv("tid", tid);
+    json.key("args").begin_object();
+    json.kv("name", name);
+    json.end_object();
+    json.end_object();
+  }
+  for (const Event& event : events_) {
+    json.begin_object();
+    json.kv("name", event.name);
+    json.kv("cat", "dynkge");
+    json.kv("ph", "X");
+    json.kv("pid", 0);
+    json.kv("tid", event.tid);
+    json.kv("ts", event.ts_us);
+    json.kv("dur", event.dur_us);
+    json.end_object();
+  }
+  json.end_array();
+  json.kv("displayTimeUnit", "ms");
+  json.end_object();
+  return json.str();
+}
+
+void TraceWriter::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("TraceWriter::write: cannot open " + path);
+  }
+  out << to_json() << '\n';
+  if (!out) {
+    throw std::runtime_error("TraceWriter::write: write failed for " + path);
+  }
+}
+
+}  // namespace dynkge::obs

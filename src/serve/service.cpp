@@ -29,7 +29,17 @@ InferenceService::InferenceService(const kge::KgeModel& model,
     : model_(&model),
       pool_(static_cast<std::size_t>(std::max(1, config.num_threads))),
       scorer_(model, dataset, config.block_size),
-      cache_(config.cache_capacity, config.cache_shards) {}
+      cache_(config.cache_capacity, config.cache_shards),
+      latency_(config.metrics != nullptr
+                   ? &config.metrics->histogram("serve.latency_seconds")
+                   : &own_latency_),
+      query_counter_(config.metrics != nullptr
+                         ? &config.metrics->counter("serve.queries")
+                         : nullptr),
+      batch_counter_(config.metrics != nullptr
+                         ? &config.metrics->counter("serve.batches")
+                         : nullptr),
+      trace_(config.trace) {}
 
 InferenceService::InferenceService(std::unique_ptr<kge::KgeModel> model,
                                    const kge::Dataset* dataset,
@@ -38,7 +48,22 @@ InferenceService::InferenceService(std::unique_ptr<kge::KgeModel> model,
       model_(owned_model_.get()),
       pool_(static_cast<std::size_t>(std::max(1, config.num_threads))),
       scorer_(*model_, dataset, config.block_size),
-      cache_(config.cache_capacity, config.cache_shards) {}
+      cache_(config.cache_capacity, config.cache_shards),
+      latency_(config.metrics != nullptr
+                   ? &config.metrics->histogram("serve.latency_seconds")
+                   : &own_latency_),
+      query_counter_(config.metrics != nullptr
+                         ? &config.metrics->counter("serve.queries")
+                         : nullptr),
+      batch_counter_(config.metrics != nullptr
+                         ? &config.metrics->counter("serve.batches")
+                         : nullptr),
+      trace_(config.trace) {}
+
+void InferenceService::record_latency(double seconds, std::size_t queries) {
+  for (std::size_t i = 0; i < queries; ++i) latency_->record(seconds);
+  if (query_counter_ != nullptr) query_counter_->add(queries);
+}
 
 std::unique_ptr<InferenceService> InferenceService::from_checkpoint(
     const std::string& path, const kge::Dataset* dataset,
@@ -59,12 +84,13 @@ QueryCache::ResultPtr InferenceService::scored_or_cached(
 QueryCache::ResultPtr InferenceService::topk(const TopKQuery& query) {
   const util::Stopwatch clock;
   auto result = scored_or_cached(query, /*parallel=*/true);
-  latency_.record(clock.seconds());
+  record_latency(clock.seconds(), 1);
   return result;
 }
 
 std::vector<QueryCache::ResultPtr> InferenceService::topk_batch(
     std::span<const TopKQuery> queries) {
+  const obs::TraceSpan span(trace_, "serve.batch", 0);
   const util::Stopwatch clock;
 
   // Deduplicate: slot -> index into `distinct`.
@@ -99,22 +125,22 @@ std::vector<QueryCache::ResultPtr> InferenceService::topk_batch(
 
   // Batch latency is attributed per query: every query in the batch
   // completed within the batch's wall time.
-  const double elapsed = clock.seconds();
-  for (std::size_t i = 0; i < queries.size(); ++i) latency_.record(elapsed);
+  record_latency(clock.seconds(), queries.size());
+  if (batch_counter_ != nullptr) batch_counter_->add(1);
   return results;
 }
 
 ServiceSnapshot InferenceService::snapshot() const {
   ServiceSnapshot snapshot;
-  snapshot.queries = latency_.count();
-  snapshot.mean_latency_seconds = latency_.mean_seconds();
-  snapshot.p50_seconds = latency_.quantile_seconds(0.50);
-  snapshot.p95_seconds = latency_.quantile_seconds(0.95);
-  snapshot.p99_seconds = latency_.quantile_seconds(0.99);
+  snapshot.queries = latency_->count();
+  snapshot.mean_latency_seconds = latency_->mean_seconds();
+  snapshot.p50_seconds = latency_->quantile_seconds(0.50);
+  snapshot.p95_seconds = latency_->quantile_seconds(0.95);
+  snapshot.p99_seconds = latency_->quantile_seconds(0.99);
   snapshot.cache = cache_.stats();
   return snapshot;
 }
 
-void InferenceService::reset_metrics() { latency_.reset(); }
+void InferenceService::reset_metrics() { latency_->reset(); }
 
 }  // namespace dynkge::serve

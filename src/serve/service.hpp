@@ -12,9 +12,14 @@
 //                          (better throughput than sequentially
 //                          parallelizing each), then fills every slot.
 //
-// Every query is timed into a fixed-bucket LatencyHistogram; snapshot()
+// Every query is timed into a fixed-bucket log histogram; snapshot()
 // returns latency percentiles, throughput and cache counters. Thread-safe:
 // any number of client threads may call topk()/topk_batch() concurrently.
+//
+// Telemetry: ServiceConfig::metrics moves the latency histogram into a
+// shared obs::MetricsRegistry ("serve.latency_seconds", plus query/batch
+// counters); ServiceConfig::trace records one "serve.batch" span per
+// topk_batch call. Both are optional and default-off.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +30,8 @@
 
 #include "kge/dataset.hpp"
 #include "kge/model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/metrics.hpp"
 #include "serve/query_cache.hpp"
 #include "serve/scorer.hpp"
@@ -37,6 +44,14 @@ struct ServiceConfig {
   std::size_t cache_capacity = 4096;  ///< total cached results; 0 disables
   std::size_t cache_shards = 8;
   std::size_t block_size = 4096;   ///< entities per scoring block
+
+  /// Optional shared metrics registry: latency is recorded into its
+  /// "serve.latency_seconds" histogram (with serve.queries/serve.batches
+  /// counters) instead of a service-private histogram. Must outlive the
+  /// service.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional trace writer: topk_batch emits "serve.batch" spans.
+  obs::TraceWriter* trace = nullptr;
 };
 
 struct ServiceSnapshot {
@@ -91,13 +106,20 @@ class InferenceService {
  private:
   QueryCache::ResultPtr scored_or_cached(const TopKQuery& query,
                                          bool parallel);
+  void record_latency(double seconds, std::size_t queries);
 
   std::unique_ptr<kge::KgeModel> owned_model_;
   const kge::KgeModel* model_;
   ThreadPool pool_;
   TopKScorer scorer_;
   QueryCache cache_;
-  LatencyHistogram latency_;
+  LatencyHistogram own_latency_;
+  /// Points at own_latency_, or at the registry-owned histogram when
+  /// ServiceConfig::metrics was given (the migrated serve histogram).
+  LatencyHistogram* latency_;
+  obs::Counter* query_counter_ = nullptr;
+  obs::Counter* batch_counter_ = nullptr;
+  obs::TraceWriter* trace_ = nullptr;
 };
 
 }  // namespace dynkge::serve

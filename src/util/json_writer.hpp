@@ -80,6 +80,16 @@ class JsonWriter {
     return value(static_cast<std::int64_t>(number));
   }
 
+  /// Splice pre-serialized JSON in as the next value (e.g. embedding a
+  /// MetricsRegistry snapshot inside a report). The caller guarantees
+  /// `json_text` is itself well-formed JSON.
+  JsonWriter& raw(const std::string& json_text) {
+    prefix();
+    out_ << json_text;
+    mark_value_written();
+    return *this;
+  }
+
   /// key + value in one call.
   template <typename T>
   JsonWriter& kv(const std::string& name, const T& v) {

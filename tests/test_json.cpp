@@ -77,6 +77,41 @@ TEST(JsonWriter, NumbersRoundTrip) {
   EXPECT_NE(text.find("1e-09"), std::string::npos);
 }
 
+TEST(JsonWriter, RawSplicesPreSerializedJson) {
+  JsonWriter json;
+  json.begin_object();
+  json.kv("before", 1);
+  json.key("spliced").raw("{\"inner\":[1,2]}");
+  json.kv("after", 2);
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\"before\":1,\"spliced\":{\"inner\":[1,2]},\"after\":2}");
+
+  JsonWriter array;
+  array.begin_array();
+  array.raw("true");
+  array.raw("{}");
+  array.end_array();
+  EXPECT_EQ(array.str(), "[true,{}]");
+}
+
+TEST(ReportJson, EmbedsMetricsSnapshotWhenGiven) {
+  core::TrainReport report;
+  report.strategy_label = "allreduce";
+  obs::MetricsRegistry metrics;
+  metrics.counter("train.steps").add(9);
+
+  const std::string with = core::report_to_json(report, &metrics);
+  EXPECT_NE(with.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(with.find("\"train.steps\":9"), std::string::npos);
+  EXPECT_EQ(std::count(with.begin(), with.end(), '{'),
+            std::count(with.begin(), with.end(), '}'));
+
+  // Absent without a registry (default argument).
+  EXPECT_EQ(core::report_to_json(report).find("\"metrics\""),
+            std::string::npos);
+}
+
 TEST(ReportJson, ContainsAllSections) {
   // A tiny real training run, exported.
   kge::SyntheticSpec spec;

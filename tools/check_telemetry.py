@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Validate the telemetry artifacts a `dynkge train` run writes.
+
+Checks, per artifact:
+  --metrics  metrics snapshot: parseable (JSON, or Prometheus text for
+             .prom), non-empty, train.steps/train.epochs present and > 0.
+  --trace    Chrome trace-event JSON: loadable, only "X"/"M" events, every
+             complete event carries name/pid/tid/ts/dur, spans on each tid
+             are properly nested (a rank track is one sequential program),
+             rank tracks are labeled.
+  --events   JSONL event stream: every line parses, carries the full
+             schema, and there is exactly one event per (epoch, rank) for
+             --expect-ranks x --expect-epochs.
+
+Exits non-zero with a message on the first violation, so CI fails loudly.
+
+Usage:
+  check_telemetry.py --metrics m.json --trace t.json --events e.jsonl \
+      --expect-ranks 2 --expect-epochs 3
+"""
+
+import argparse
+import json
+import sys
+
+EVENT_KEYS = frozenset(
+    [
+        "epoch",
+        "rank",
+        "comm_mode",
+        "transport",
+        "probe",
+        "switched_to_allgather",
+        "selection",
+        "keep_rate",
+        "quant",
+        "bytes_on_wire",
+        "ss_candidates_scored",
+        "ss_candidates_kept",
+        "loss",
+        "lr",
+        "val_accuracy",
+        "sim_seconds",
+        "comm_seconds",
+    ]
+)
+
+
+def fail(message):
+    print(f"check_telemetry: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_metrics(path):
+    with open(path) as handle:
+        text = handle.read()
+    if path.endswith(".prom"):
+        lines = [l for l in text.splitlines() if l.strip()]
+        if not lines:
+            fail(f"{path}: empty Prometheus snapshot")
+        types = {}
+        for line in lines:
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split()
+                types[name] = kind
+                continue
+            if line.startswith("#"):
+                continue
+            fields = line.rsplit(" ", 1)
+            if len(fields) != 2:
+                fail(f"{path}: malformed sample line: {line!r}")
+            float(fields[1])  # every sample value must be numeric
+        if "dynkge_train_steps" not in types:
+            fail(f"{path}: missing dynkge_train_steps")
+        print(f"  metrics: {len(types)} metric families ({path})")
+        return
+    snapshot = json.loads(text)
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snapshot:
+            fail(f"{path}: missing section {section!r}")
+    counters = snapshot["counters"]
+    for required in ("train.steps", "train.epochs"):
+        if counters.get(required, 0) <= 0:
+            fail(f"{path}: counter {required!r} missing or zero")
+    print(
+        f"  metrics: {len(counters)} counters, "
+        f"{len(snapshot['gauges'])} gauges, "
+        f"{len(snapshot['histograms'])} histograms ({path})"
+    )
+
+
+def check_trace(path, expect_ranks):
+    with open(path) as handle:
+        trace = json.load(handle)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+
+    named_tids = set()
+    spans_by_tid = {}
+    for event in events:
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") != "thread_name":
+                fail(f"{path}: unexpected metadata event {event!r}")
+            named_tids.add(event["tid"])
+            continue
+        if phase != "X":
+            fail(f"{path}: unexpected event phase {phase!r}")
+        for key in ("name", "pid", "tid", "ts", "dur"):
+            if key not in event:
+                fail(f"{path}: complete event missing {key!r}: {event!r}")
+        if event["dur"] < 0:
+            fail(f"{path}: negative duration: {event!r}")
+        spans_by_tid.setdefault(event["tid"], []).append(event)
+
+    for rank in range(expect_ranks):
+        if rank not in named_tids:
+            fail(f"{path}: rank track {rank} has no thread_name metadata")
+        if rank not in spans_by_tid:
+            fail(f"{path}: rank track {rank} recorded no spans")
+
+    # Each tid is one sequential program: spans must be properly nested
+    # (disjoint or contained), never partially overlapping.
+    for tid, spans in spans_by_tid.items():
+        spans.sort(key=lambda s: (s["ts"], -s["dur"]))
+        open_ends = []
+        for span in spans:
+            end = span["ts"] + span["dur"]
+            while open_ends and open_ends[-1] <= span["ts"]:
+                open_ends.pop()
+            if open_ends and end > open_ends[-1]:
+                fail(
+                    f"{path}: span {span['name']!r} on tid {tid} partially "
+                    f"overlaps its enclosing span"
+                )
+            open_ends.append(end)
+    total = sum(len(s) for s in spans_by_tid.values())
+    print(f"  trace: {total} spans on {len(spans_by_tid)} tracks ({path})")
+
+
+def check_events(path, expect_ranks, expect_epochs):
+    seen = set()
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail(f"{path}:{number}: not valid JSON: {error}")
+            missing = EVENT_KEYS - event.keys()
+            if missing:
+                fail(f"{path}:{number}: missing keys {sorted(missing)}")
+            key = (event["epoch"], event["rank"])
+            if key in seen:
+                fail(f"{path}:{number}: duplicate event for {key}")
+            seen.add(key)
+            if not 0.0 <= event["keep_rate"] <= 1.0:
+                fail(f"{path}:{number}: keep_rate out of [0,1]")
+            if event["probe"] and event["transport"] != "allgather":
+                fail(f"{path}:{number}: probe epoch not on allgather")
+    expected = {
+        (epoch, rank)
+        for epoch in range(expect_epochs)
+        for rank in range(expect_ranks)
+    }
+    if seen != expected:
+        fail(
+            f"{path}: expected one event per (epoch, rank) for "
+            f"{expect_epochs} epochs x {expect_ranks} ranks, got "
+            f"{len(seen)} events"
+        )
+    print(f"  events: {len(seen)} events, schema OK ({path})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", help="metrics snapshot (.json or .prom)")
+    parser.add_argument("--trace", help="Chrome trace-event JSON")
+    parser.add_argument("--events", help="JSONL event stream")
+    parser.add_argument("--expect-ranks", type=int, default=2)
+    parser.add_argument("--expect-epochs", type=int, default=3)
+    args = parser.parse_args()
+    if not (args.metrics or args.trace or args.events):
+        parser.error("give at least one of --metrics/--trace/--events")
+
+    if args.metrics:
+        check_metrics(args.metrics)
+    if args.trace:
+        check_trace(args.trace, args.expect_ranks)
+    if args.events:
+        check_events(args.events, args.expect_ranks, args.expect_epochs)
+    print("check_telemetry: OK")
+
+
+if __name__ == "__main__":
+    main()

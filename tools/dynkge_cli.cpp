@@ -11,6 +11,14 @@
 //                   [--host-threads N]  host threads the simulated ranks
 //                                       run on (0 = all cores; results are
 //                                       bit-identical for every value)
+//                   [--probe-interval N]  dynamic-mode probe period k
+//                   [--metrics-out f]   metrics snapshot (.prom ->
+//                                       Prometheus text, else JSON)
+//                   [--trace-out f.json]  Chrome trace-event timeline
+//                                       (load in Perfetto/chrome://tracing)
+//                   [--events-out f.jsonl]  per-epoch per-rank strategy
+//                                       event stream (probe decisions,
+//                                       keep rate, bytes on wire, ...)
 //                   [--save-model file] [--report file.json]
 //   dynkge eval     --data <dir> --model-file <file>       evaluate a saved
 //                                                          model
@@ -22,7 +30,7 @@
 //                   [--model-file f] [--queries N]         synthetic query
 //                   [--distinct N] [--topk K]              stream through
 //                   [--threads N] [--cache N] [--batch N]  InferenceService;
-//                   [--seed N]                             report p50/p95/p99
+//                   [--seed N] [--metrics-out f]           report p50/p95/p99
 //                                                          latency, QPS, and
 //                                                          speedup over the
 //                                                          single-query scan
@@ -36,6 +44,9 @@
 #include "serve/service.hpp"
 
 #include "core/distributed_eval.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "core/hogwild_trainer.hpp"
 #include "core/report_json.hpp"
 #include "core/strategy_config.hpp"
@@ -177,6 +188,29 @@ int cmd_train(const util::ArgParser& args) {
   config.strategy = strategy_by_name(
       args.get_string("strategy", "full"), negatives,
       static_cast<int>(args.get_int("ss-sampled", 8)));
+  config.strategy.dynamic_probe_interval = static_cast<int>(args.get_int(
+      "probe-interval", config.strategy.dynamic_probe_interval));
+
+  // Telemetry sinks (src/obs/) — created only when a flag asks for them,
+  // so the default train run pays nothing.
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::TraceWriter> trace;
+  std::unique_ptr<obs::EventLog> events;
+  const std::string metrics_path = args.get_string("metrics-out", "");
+  const std::string trace_path = args.get_string("trace-out", "");
+  const std::string events_path = args.get_string("events-out", "");
+  if (!metrics_path.empty()) {
+    metrics = std::make_unique<obs::MetricsRegistry>();
+    config.telemetry.metrics = metrics.get();
+  }
+  if (!trace_path.empty()) {
+    trace = std::make_unique<obs::TraceWriter>();
+    config.telemetry.trace = trace.get();
+  }
+  if (!events_path.empty()) {
+    events = std::make_unique<obs::EventLog>(events_path);
+    config.telemetry.events = events.get();
+  }
 
   std::cout << "training " << config.strategy.label() << " ("
             << config.model_name << ", rank " << config.embedding_rank
@@ -198,8 +232,22 @@ int cmd_train(const util::ArgParser& args) {
   }
   const std::string report_path = args.get_string("report", "");
   if (!report_path.empty()) {
-    core::write_report_json(report, report_path);
+    core::write_report_json(report, report_path, metrics.get());
     std::cout << "report written to " << report_path << "\n";
+  }
+  if (metrics != nullptr) {
+    obs::write_metrics(*metrics, metrics_path);
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
+  if (trace != nullptr) {
+    trace->write(trace_path);
+    std::cout << "trace written to " << trace_path << " ("
+              << trace->size() << " spans; load in Perfetto)\n";
+  }
+  if (events != nullptr) {
+    events->flush();
+    std::cout << "events written to " << events_path << " ("
+              << events->lines_written() << " lines)\n";
   }
   return 0;
 }
@@ -326,6 +374,12 @@ int cmd_serve_bench(const util::ArgParser& args) {
   config.num_threads = static_cast<int>(args.get_int("threads", 4));
   config.cache_capacity =
       static_cast<std::size_t>(args.get_int("cache", 1024));
+  const std::string metrics_path = args.get_string("metrics-out", "");
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  if (!metrics_path.empty()) {
+    metrics = std::make_unique<obs::MetricsRegistry>();
+    config.metrics = metrics.get();
+  }
 
   // Distinct query identities, then a Zipf(1.0)-skewed stream over them —
   // the popularity profile the cache is designed for.
@@ -409,6 +463,10 @@ int cmd_serve_bench(const util::ArgParser& args) {
             << "latency: " << snapshot.summary() << "\n"
             << "speedup over single-query scan: "
             << (serve_qps / baseline_qps) << "x\n";
+  if (metrics != nullptr) {
+    obs::write_metrics(*metrics, metrics_path);
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
   return 0;
 }
 
