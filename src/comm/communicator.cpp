@@ -46,6 +46,7 @@ void Communicator::align_clock() {
 }
 
 void Communicator::barrier() {
+  check_faults();
   publish_and_sync(nullptr, 0);
   align_clock();
   const double t = model_.barrier_time(num_ranks_);
@@ -58,6 +59,7 @@ void Communicator::allreduce_sum(std::span<const float> in,
   if (in.size() != out.size()) {
     throw std::invalid_argument("allreduce_sum: size mismatch");
   }
+  check_faults();
   publish_and_sync(reinterpret_cast<const std::byte*>(in.data()),
                    in.size_bytes());
   align_clock();
@@ -83,6 +85,7 @@ void Communicator::allreduce_sum_inplace(std::span<float> data) {
 }
 
 double Communicator::allreduce_scalar(double value, ScalarOp op) {
+  check_faults();
   state_.scalar[rank_] = value;
   publish_and_sync(nullptr, 0);
   align_clock();
@@ -111,6 +114,7 @@ void Communicator::allgatherv_bytes(std::span<const std::byte> local,
                                     std::vector<std::byte>& out,
                                     std::vector<std::size_t>& counts,
                                     bool charge_cost) {
+  check_faults();
   publish_and_sync(local.data(), local.size());
   align_clock();
   counts.assign(num_ranks_, 0);
@@ -155,6 +159,7 @@ void Cluster::run(const std::function<void(Communicator&)>& fn,
 
   pool.run_cohort(static_cast<std::size_t>(num_ranks_), [&](std::size_t r) {
     Communicator communicator(static_cast<int>(r), num_ranks_, state, model_);
+    communicator.set_fault_injector(injector_);
     try {
       fn(communicator);
     } catch (const AbortedError&) {

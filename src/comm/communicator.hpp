@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "comm/cost_model.hpp"
+#include "comm/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dynkge::comm {
@@ -168,6 +169,15 @@ class Communicator {
   void enable_trace() { tracing_ = true; }
   const std::vector<CommEvent>& trace() const { return trace_; }
 
+  /// Attach a fault injector (shared by all ranks of the cluster; usually
+  /// set through Cluster::set_fault_injector). Every collective then
+  /// consults it before publishing — see comm/fault.hpp for semantics.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Rank-local count of collectives entered so far (the index the fault
+  /// schedule keys on).
+  std::uint64_t collectives_entered() const { return collective_index_; }
+
  private:
   /// Account one collective: statistics, optional trace entry, and the
   /// simulated-clock advance. Single funnel for every cost in this class.
@@ -178,6 +188,18 @@ class Communicator {
     }
     sim_now_ += seconds;
   }
+  /// Fault-injection hook, called at the entry of every collective before
+  /// this rank publishes. A crash (or exhausted transient) throws
+  /// RankFailedError here — siblings are still parked at the barrier, so
+  /// Cluster::run can abort them cleanly. Straggler delays advance the
+  /// simulated clock; recovered transients cost nothing.
+  void check_faults() {
+    const std::uint64_t index = collective_index_++;
+    if (injector_ == nullptr) return;
+    const double delay = injector_->before_collective(rank_, index);
+    if (delay > 0.0) sim_add_compute(delay);
+  }
+
   /// Publish this rank's payload + clock, wait for siblings, and return.
   /// After this returns, all ranks' slots are readable.
   void publish_and_sync(const std::byte* data, std::size_t bytes);
@@ -196,6 +218,8 @@ class Communicator {
   std::vector<CommEvent> trace_;
   bool tracing_ = false;
   double sim_now_ = 0.0;
+  FaultInjector* injector_ = nullptr;
+  std::uint64_t collective_index_ = 0;
 };
 
 /// Owns the simulated cluster: executes one rank program per rank on a
@@ -222,9 +246,16 @@ class Cluster {
   /// this call, sized one worker per rank.
   void run(const std::function<void(Communicator&)>& fn);
 
+  /// Inject faults into every collective of subsequent run() calls (see
+  /// comm/fault.hpp). Non-owning; pass nullptr to disable. A rank killed
+  /// by an injected crash surfaces as RankFailedError from run(), with the
+  /// surviving ranks stopped at their next barrier — never a deadlock.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   int num_ranks_;
   CostModel model_;
+  FaultInjector* injector_ = nullptr;
 };
 
 // ----------------------------------------------------------------------
@@ -233,6 +264,7 @@ class Cluster {
 template <typename T>
 void Communicator::broadcast(std::span<T> data, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
+  check_faults();
   const std::size_t bytes = data.size_bytes();
   publish_and_sync(reinterpret_cast<const std::byte*>(data.data()), bytes);
   align_clock();
@@ -264,6 +296,7 @@ void Communicator::scatterv(std::span<const T> all,
                             std::span<const std::size_t> counts, int root,
                             std::vector<T>& out) {
   static_assert(std::is_trivially_copyable_v<T>);
+  check_faults();
   // Root publishes the full buffer; every rank copies its own slice.
   publish_and_sync(reinterpret_cast<const std::byte*>(all.data()),
                    all.size_bytes());
@@ -292,6 +325,7 @@ void Communicator::gatherv(std::span<const T> local, int root,
                            std::vector<T>& out,
                            std::vector<std::size_t>& counts) {
   static_assert(std::is_trivially_copyable_v<T>);
+  check_faults();
   publish_and_sync(reinterpret_cast<const std::byte*>(local.data()),
                    local.size_bytes());
   align_clock();

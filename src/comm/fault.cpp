@@ -1,0 +1,205 @@
+#include "comm/fault.hpp"
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace dynkge::comm {
+namespace {
+
+/// fetch_add for atomic<double> without relying on C++20 FP atomics.
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+FaultKind kind_by_name(const std::string& name) {
+  if (name == "crash") return FaultKind::kRankCrash;
+  if (name == "transient") return FaultKind::kTransient;
+  if (name == "straggler") return FaultKind::kStraggler;
+  throw std::invalid_argument(
+      "FaultInjector: unknown fault kind '" + name +
+      "' (expected crash|transient|straggler)");
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kRankCrash:
+      return "crash";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kStraggler:
+      return "straggler";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(std::vector<FaultEvent> schedule,
+                             RetryPolicy policy)
+    : policy_(policy) {
+  if (policy_.max_attempts < 1) {
+    throw std::invalid_argument(
+        "FaultInjector: RetryPolicy::max_attempts must be >= 1");
+  }
+  for (const FaultEvent& event : schedule) {
+    if (event.rank < 0) {
+      throw std::invalid_argument("FaultInjector: negative rank");
+    }
+    if (event.collective_index >= kRankStride) {
+      throw std::invalid_argument("FaultInjector: collective index too large");
+    }
+    events_[key(event.rank, event.collective_index)] = event;
+  }
+  num_events_ = events_.size();
+}
+
+FaultInjector FaultInjector::random(std::uint64_t seed, int num_ranks,
+                                    std::uint64_t horizon, double crash_prob,
+                                    double transient_prob,
+                                    double straggler_prob,
+                                    RetryPolicy policy) {
+  std::vector<FaultEvent> schedule;
+  for (int rank = 0; rank < num_ranks; ++rank) {
+    // One stream per rank so the schedule is stable under horizon changes.
+    util::Rng rng(util::derive_seed(seed, rank, 0xFA017u));
+    for (std::uint64_t index = 0; index < horizon; ++index) {
+      const double draw = rng.next_double();
+      FaultEvent event;
+      event.rank = rank;
+      event.collective_index = index;
+      if (draw < crash_prob) {
+        event.kind = FaultKind::kRankCrash;
+      } else if (draw < crash_prob + transient_prob) {
+        event.kind = FaultKind::kTransient;
+        event.failures = 1 + static_cast<int>(rng.next_below(2));
+      } else if (draw < crash_prob + transient_prob + straggler_prob) {
+        event.kind = FaultKind::kStraggler;
+        event.delay_seconds = rng.next_double(0.01, 0.5);
+      } else {
+        continue;
+      }
+      schedule.push_back(event);
+    }
+  }
+  return FaultInjector(std::move(schedule), policy);
+}
+
+std::vector<FaultEvent> FaultInjector::parse_spec(const std::string& spec) {
+  std::vector<FaultEvent> schedule;
+  std::stringstream events(spec);
+  std::string item;
+  while (std::getline(events, item, ',')) {
+    if (item.empty()) continue;
+    std::vector<std::string> parts;
+    std::stringstream fields(item);
+    std::string field;
+    while (std::getline(fields, field, '@')) parts.push_back(field);
+    if (parts.size() < 3 || parts.size() > 4) {
+      throw std::invalid_argument(
+          "FaultInjector: bad fault spec '" + item +
+          "' (expected kind@rank@index[@param])");
+    }
+    FaultEvent event;
+    try {
+      event.kind = kind_by_name(parts[0]);
+      event.rank = std::stoi(parts[1]);
+      event.collective_index = std::stoull(parts[2]);
+      if (parts.size() == 4) {
+        if (event.kind == FaultKind::kStraggler) {
+          event.delay_seconds = std::stod(parts[3]);
+        } else {
+          event.failures = std::stoi(parts[3]);
+        }
+      }
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("FaultInjector: bad fault spec '" + item +
+                                  "'");
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("FaultInjector: bad fault spec '" + item +
+                                  "'");
+    }
+    schedule.push_back(event);
+  }
+  return schedule;
+}
+
+double FaultInjector::before_collective(int rank, std::uint64_t index) {
+  if (events_.empty()) return 0.0;
+  const auto it = events_.find(key(rank, index));
+  if (it == events_.end()) return 0.0;
+  const FaultEvent& event = it->second;
+  switch (event.kind) {
+    case FaultKind::kRankCrash: {
+      crashes_.fetch_add(1, std::memory_order_relaxed);
+      if (m_crashes_ != nullptr) m_crashes_->add(1);
+      throw RankFailedError(rank, "injected crash at collective #" +
+                                      std::to_string(index));
+    }
+    case FaultKind::kTransient: {
+      // The collective fails `failures` times; each failure costs one
+      // backoff pause. The backoff is accounted against the injector, not
+      // the training clock: a recovered transient fault must leave the
+      // run's results (including modeled timings) byte-identical.
+      if (event.failures >= policy_.max_attempts) {
+        exhausted_.fetch_add(1, std::memory_order_relaxed);
+        if (m_exhausted_ != nullptr) m_exhausted_->add(1);
+        throw RankFailedError(
+            rank, "transient fault at collective #" + std::to_string(index) +
+                      " persisted through " +
+                      std::to_string(policy_.max_attempts) + " attempts");
+      }
+      double pause = policy_.backoff_seconds;
+      double total = 0.0;
+      for (int attempt = 0; attempt < event.failures; ++attempt) {
+        total += pause;
+        pause *= policy_.backoff_multiplier;
+      }
+      transients_.fetch_add(1, std::memory_order_relaxed);
+      retries_.fetch_add(static_cast<std::uint64_t>(event.failures),
+                         std::memory_order_relaxed);
+      atomic_add(backoff_seconds_, total);
+      if (m_transients_ != nullptr) m_transients_->add(1);
+      if (m_retries_ != nullptr) {
+        m_retries_->add(static_cast<std::uint64_t>(event.failures));
+      }
+      return 0.0;
+    }
+    case FaultKind::kStraggler: {
+      stragglers_.fetch_add(1, std::memory_order_relaxed);
+      if (m_stragglers_ != nullptr) m_stragglers_->add(1);
+      return event.delay_seconds;
+    }
+  }
+  return 0.0;
+}
+
+FaultCounters FaultInjector::counters() const {
+  FaultCounters counters;
+  counters.crashes = crashes_.load(std::memory_order_relaxed);
+  counters.transients = transients_.load(std::memory_order_relaxed);
+  counters.stragglers = stragglers_.load(std::memory_order_relaxed);
+  counters.retries = retries_.load(std::memory_order_relaxed);
+  counters.exhausted = exhausted_.load(std::memory_order_relaxed);
+  counters.backoff_seconds = backoff_seconds_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void FaultInjector::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics == nullptr) {
+    m_crashes_ = m_transients_ = m_stragglers_ = m_retries_ = m_exhausted_ =
+        nullptr;
+    return;
+  }
+  m_crashes_ = &metrics->counter("comm.fault.crashes");
+  m_transients_ = &metrics->counter("comm.fault.transients");
+  m_stragglers_ = &metrics->counter("comm.fault.stragglers");
+  m_retries_ = &metrics->counter("comm.fault.retries");
+  m_exhausted_ = &metrics->counter("comm.fault.retry_exhausted");
+}
+
+}  // namespace dynkge::comm

@@ -1,0 +1,159 @@
+// Fault injection for the simulated cluster.
+//
+// On a real cluster the dominant failure modes are a rank dying mid-run, a
+// collective failing transiently (link flap, timeout), and a straggler rank
+// stalling everyone at the next synchronization point. The FaultInjector
+// reproduces all three deterministically: a seeded schedule maps
+// (rank, rank-local collective index) -> fault event, and every
+// Communicator consults the injector at the entry of every collective.
+//
+// Semantics per kind:
+//
+//  * kRankCrash  — the rank throws RankFailedError *before* publishing its
+//    payload. Cluster::run catches it, aborts the shared barrier so the
+//    surviving ranks unwind with AbortedError instead of deadlocking, and
+//    rethrows the RankFailedError to the caller.
+//
+//  * kTransient  — the collective "fails" for the first `failures`
+//    attempts and is retried with exponential backoff (RetryPolicy). The
+//    retries are accounted (counters + modeled backoff seconds) but do not
+//    touch the simulated training clock, so an injected-and-recovered
+//    transient fault leaves training results byte-identical to a clean
+//    run. Exhausting the retry budget escalates to RankFailedError.
+//
+//  * kStraggler  — the rank's simulated clock is advanced by
+//    `delay_seconds` before the collective, so the cluster-max clock
+//    alignment stalls every sibling — exactly what a slow rank does to a
+//    synchronous collective.
+//
+// Thread safety: before_collective is called concurrently from all rank
+// threads; the schedule is immutable after construction and the counters
+// are atomics, so the injector is safe to share across one cluster run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dynkge::comm {
+
+/// Thrown when a rank dies (injected crash, or a transient fault that
+/// exhausted its retry budget). Cluster::run rethrows it to the caller
+/// after aborting the surviving ranks at their next barrier.
+class RankFailedError : public std::runtime_error {
+ public:
+  RankFailedError(int rank, const std::string& what)
+      : std::runtime_error("rank " + std::to_string(rank) + " failed: " +
+                           what),
+        rank_(rank) {}
+
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+enum class FaultKind : std::uint8_t {
+  kRankCrash,   ///< rank dies at the collective; siblings unwind via abort
+  kTransient,   ///< collective fails `failures` times, then succeeds
+  kStraggler,   ///< rank stalls `delay_seconds` of simulated time
+};
+
+const char* to_string(FaultKind kind);
+
+/// One scheduled fault: fires on `rank` at its `collective_index`-th
+/// collective (rank-local, 0-based — deterministic regardless of host
+/// thread scheduling).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kTransient;
+  int rank = 0;
+  std::uint64_t collective_index = 0;
+  int failures = 1;            ///< transient: failed attempts before success
+  double delay_seconds = 0.1;  ///< straggler: simulated stall
+};
+
+/// Bounded retry with exponential backoff for transient collective faults.
+struct RetryPolicy {
+  int max_attempts = 4;            ///< total attempts per collective
+  double backoff_seconds = 1e-3;   ///< modeled pause before the 1st retry
+  double backoff_multiplier = 2.0; ///< growth per further retry
+};
+
+/// Point-in-time copy of the injector's accounting.
+struct FaultCounters {
+  std::uint64_t crashes = 0;     ///< rank-crash events fired
+  std::uint64_t transients = 0;  ///< transient events recovered by retry
+  std::uint64_t stragglers = 0;  ///< straggler delays applied
+  std::uint64_t retries = 0;     ///< individual retry attempts
+  std::uint64_t exhausted = 0;   ///< transients escalated to RankFailed
+  double backoff_seconds = 0.0;  ///< total modeled backoff spent
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::vector<FaultEvent> schedule,
+                         RetryPolicy policy = {});
+
+  /// A seeded random schedule over `num_ranks` ranks and the first
+  /// `horizon` collectives of each: every (rank, index) slot independently
+  /// draws crash/transient/straggler with the given probabilities.
+  /// Deterministic in (seed, num_ranks, horizon, probabilities).
+  static FaultInjector random(std::uint64_t seed, int num_ranks,
+                              std::uint64_t horizon, double crash_prob,
+                              double transient_prob, double straggler_prob,
+                              RetryPolicy policy = {});
+
+  /// Parse a comma-separated CLI spec into a schedule. Each event is
+  ///   crash@RANK@INDEX
+  ///   transient@RANK@INDEX[@FAILURES]
+  ///   straggler@RANK@INDEX[@DELAY_SECONDS]
+  /// e.g. "transient@1@40@2,straggler@0@10@0.5". Throws
+  /// std::invalid_argument on malformed specs.
+  static std::vector<FaultEvent> parse_spec(const std::string& spec);
+
+  /// Called by a rank at the entry of its `index`-th collective. Returns
+  /// straggler seconds to add to the rank's simulated clock (0 for no
+  /// fault). Throws RankFailedError for crash events and for transient
+  /// events whose `failures` meets or exceeds the retry budget.
+  double before_collective(int rank, std::uint64_t index);
+
+  const RetryPolicy& policy() const { return policy_; }
+  FaultCounters counters() const;
+  std::size_t scheduled_events() const { return num_events_; }
+
+  /// Optional observability: counters mirrored into `metrics` under
+  /// comm.fault.* as they fire. Set before the cluster runs.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+ private:
+  /// Key = rank * kRankStride + collective_index.
+  static std::uint64_t key(int rank, std::uint64_t index) {
+    return static_cast<std::uint64_t>(rank) * kRankStride + index;
+  }
+  static constexpr std::uint64_t kRankStride = 1ULL << 48;
+
+  RetryPolicy policy_;
+  std::unordered_map<std::uint64_t, FaultEvent> events_;
+  std::size_t num_events_ = 0;
+
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> transients_{0};
+  std::atomic<std::uint64_t> stragglers_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> exhausted_{0};
+  std::atomic<double> backoff_seconds_{0.0};
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_crashes_ = nullptr;
+  obs::Counter* m_transients_ = nullptr;
+  obs::Counter* m_stragglers_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_exhausted_ = nullptr;
+};
+
+}  // namespace dynkge::comm

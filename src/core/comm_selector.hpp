@@ -49,6 +49,25 @@ class CommModeSelector {
 
   CommMode mode() const { return mode_; }
 
+  /// Mutable state for checkpoint/resume. The mode and probe interval come
+  /// from the run's strategy flags; only the decision history persists.
+  struct State {
+    bool switched = false;
+    double last_allreduce_time = -1.0;
+    int epochs_recorded = 0;
+    int allreduce_epochs = 0;
+  };
+  State state() const {
+    return {switched_, last_allreduce_time_, epochs_recorded_,
+            allreduce_epochs_};
+  }
+  void restore(const State& s) {
+    switched_ = s.switched;
+    last_allreduce_time_ = s.last_allreduce_time;
+    epochs_recorded_ = s.epochs_recorded;
+    allreduce_epochs_ = s.allreduce_epochs;
+  }
+
  private:
   bool is_probe_epoch(int epoch) const;
 

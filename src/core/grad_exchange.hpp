@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "comm/communicator.hpp"
@@ -68,6 +69,23 @@ class GradExchange {
   /// `local` may be mutated (error feedback folds residuals into it).
   ExchangeResult exchange(kge::ModelGrads& local, kge::ModelGrads& merged,
                           const ExchangePlan& plan, util::Rng& rng);
+
+  /// Checkpoint access to the error-feedback residuals (quantization error
+  /// parked for the next step — training state, like optimizer moments).
+  const std::unordered_map<std::int32_t, std::vector<float>>&
+  entity_residuals() const {
+    return entity_residual_;
+  }
+  const std::unordered_map<std::int32_t, std::vector<float>>&
+  relation_residuals() const {
+    return relation_residual_;
+  }
+  void restore_residuals(
+      std::unordered_map<std::int32_t, std::vector<float>> entity,
+      std::unordered_map<std::int32_t, std::vector<float>> relation) {
+    entity_residual_ = std::move(entity);
+    relation_residual_ = std::move(relation);
+  }
 
  private:
   /// One matrix worth of exchange. Returns this rank's modeled traffic.

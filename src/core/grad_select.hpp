@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/strategy_config.hpp"
@@ -55,6 +56,18 @@ class GradSelector {
 
   /// Number of rows currently parked as residuals.
   std::size_t pending_rows() const { return residual_.size(); }
+
+  /// Checkpoint access: the parked residual rows are part of the training
+  /// state (dropping them on resume would change which gradient mass the
+  /// next epochs deliver).
+  const std::unordered_map<std::int32_t, std::vector<float>>& residuals()
+      const {
+    return residual_;
+  }
+  void restore_residuals(
+      std::unordered_map<std::int32_t, std::vector<float>> residuals) {
+    residual_ = std::move(residuals);
+  }
 
  private:
   SelectionMode mode_;

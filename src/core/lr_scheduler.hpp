@@ -43,6 +43,22 @@ class PlateauScheduler {
   double best_metric() const { return best_; }
   int epochs_since_improvement() const { return stale_epochs_; }
 
+  /// Mutable state for checkpoint/resume (the config is rebuilt from the
+  /// run's flags, only the observation history needs persisting).
+  struct State {
+    double lr = 0.0;
+    double best_metric = -1e300;
+    int stale_epochs = 0;
+    bool stopped = false;
+  };
+  State state() const { return {lr_, best_, stale_epochs_, stopped_}; }
+  void restore(const State& s) {
+    lr_ = s.lr;
+    best_ = s.best_metric;
+    stale_epochs_ = s.stale_epochs;
+    stopped_ = s.stopped;
+  }
+
   /// Feed one epoch's validation accuracy. Returns true if the learning
   /// rate was reduced by this observation.
   bool observe(double validation_metric) {

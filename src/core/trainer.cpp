@@ -1,7 +1,12 @@
 #include "core/trainer.hpp"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
+#include <csignal>
+#include <cstring>
 #include <optional>
 #include <stdexcept>
 
@@ -13,6 +18,7 @@
 #include "kge/adam.hpp"
 #include "kge/loss.hpp"
 #include "kge/model_factory.hpp"
+#include "kge/serialize.hpp"
 #include "util/json_writer.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -40,6 +46,104 @@ constexpr double kCoeffUnderflow = 1e-7;
 void shuffle_triples(TripleList& triples, Rng& rng) {
   for (std::size_t i = triples.size(); i > 1; --i) {
     std::swap(triples[i - 1], triples[rng.next_below(i)]);
+  }
+}
+
+// ---- residual blobs (RESD section payload) ---------------------------
+// A rank's gradient-selection and error-feedback residual maps, packed
+// into one opaque blob for the snapshot: 4 maps (entity selector,
+// relation selector, exchange entity, exchange relation), each as a u32
+// row count followed by (i32 id, u32 width, float values) entries in
+// ascending id order so identical state always produces identical bytes.
+
+using ResidualMap = std::unordered_map<std::int32_t, std::vector<float>>;
+
+template <typename T>
+void blob_append(std::string& blob, const T& value) {
+  blob.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+std::string encode_residual_maps(
+    std::initializer_list<const ResidualMap*> maps) {
+  std::string blob;
+  for (const ResidualMap* map : maps) {
+    std::vector<std::int32_t> ids;
+    ids.reserve(map->size());
+    for (const auto& [id, values] : *map) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    blob_append(blob, static_cast<std::uint32_t>(ids.size()));
+    for (const std::int32_t id : ids) {
+      const std::vector<float>& values = map->at(id);
+      blob_append(blob, id);
+      blob_append(blob, static_cast<std::uint32_t>(values.size()));
+      blob.append(reinterpret_cast<const char*>(values.data()),
+                  values.size() * sizeof(float));
+    }
+  }
+  return blob;
+}
+
+std::vector<ResidualMap> decode_residual_maps(const std::string& blob,
+                                              std::size_t num_maps) {
+  std::vector<ResidualMap> maps(num_maps);
+  std::size_t pos = 0;
+  const auto read = [&](void* out, std::size_t size) {
+    if (size > blob.size() - pos) {
+      throw std::runtime_error(
+          "resume: residual blob truncated (snapshot RESD section)");
+    }
+    std::memcpy(out, blob.data() + pos, size);
+    pos += size;
+  };
+  for (ResidualMap& map : maps) {
+    std::uint32_t count = 0;
+    read(&count, sizeof(count));
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::int32_t id = 0;
+      std::uint32_t width = 0;
+      read(&id, sizeof(id));
+      read(&width, sizeof(width));
+      if (width > (1u << 20)) {
+        throw std::runtime_error(
+            "resume: residual row width " + std::to_string(width) +
+            " is implausible (snapshot RESD section corrupted)");
+      }
+      std::vector<float> values(width);
+      read(values.data(), width * sizeof(float));
+      map.emplace(id, std::move(values));
+    }
+  }
+  if (pos != blob.size()) {
+    throw std::runtime_error(
+        "resume: residual blob has trailing bytes (snapshot RESD section)");
+  }
+  return maps;
+}
+
+/// Copy every parameter of `source` into a freshly constructed model of
+/// the same architecture (the checkpoint writer must not mutate the live
+/// replica when overlaying gathered relation rows).
+std::unique_ptr<kge::KgeModel> clone_model(const kge::KgeModel& source,
+                                           const std::string& model_name,
+                                           std::int32_t embedding_rank) {
+  auto copy = kge::make_model(model_name, source.entities().rows(),
+                              source.relations().rows(), embedding_rank);
+  std::copy(source.entities().flat().begin(), source.entities().flat().end(),
+            copy->entities().flat().begin());
+  std::copy(source.relations().flat().begin(),
+            source.relations().flat().end(),
+            copy->relations().flat().begin());
+  return copy;
+}
+
+void check_resume_field(const std::string& field, const std::string& expected,
+                        const std::string& found) {
+  if (expected != found) {
+    throw std::invalid_argument(
+        "TrainConfig::checkpoint.resume: snapshot was written by a "
+        "different run (" +
+        field + ": this run has '" + expected + "', snapshot has '" + found +
+        "')");
   }
 }
 
@@ -115,10 +219,67 @@ TrainReport DistributedTrainer::train() {
       std::max<std::size_t>(1, (max_shard + config_.batch_size - 1) /
                                    config_.batch_size);
 
+  // ---- checkpoint / resume setup (host side) --------------------------
+  const TrainConfig::CheckpointConfig& ckpt = config_.checkpoint;
+  const bool checkpoint_enabled = !ckpt.dir.empty();
+  std::string snapshot_file;
+  std::optional<kge::TrainingSnapshot> resume_state;
+  int start_epoch = 0;
+  if (checkpoint_enabled) {
+    if (ckpt.every < 1) {
+      throw std::invalid_argument(
+          "TrainConfig::checkpoint: every must be >= 1");
+    }
+    ::mkdir(ckpt.dir.c_str(), 0755);  // EEXIST is fine
+    snapshot_file = ckpt.dir + "/snapshot.dkgs";
+    if (ckpt.resume && ::access(snapshot_file.c_str(), F_OK) == 0) {
+      resume_state.emplace(kge::load_snapshot(snapshot_file));
+      const kge::TrainerSnapshot& t = resume_state->trainer;
+      check_resume_field("model", config_.model_name, t.model_name);
+      check_resume_field("strategy", strategy.label(), t.strategy_label);
+      check_resume_field("embedding_rank",
+                         std::to_string(config_.embedding_rank),
+                         std::to_string(t.embedding_rank));
+      check_resume_field("num_nodes", std::to_string(num_nodes),
+                         std::to_string(t.num_nodes));
+      check_resume_field("seed", std::to_string(config_.seed),
+                         std::to_string(t.seed));
+      check_resume_field(
+          "num_entities", std::to_string(dataset_.num_entities()),
+          std::to_string(resume_state->model->entities().rows()));
+      check_resume_field(
+          "num_relations", std::to_string(dataset_.num_relations()),
+          std::to_string(resume_state->model->relations().rows()));
+      // The per-rank RNG streams are re-derived, not stored; the stored
+      // seeds exist to verify the derivation contract still holds.
+      for (int r = 0; r < num_nodes; ++r) {
+        const std::uint64_t expected =
+            util::derive_seed(config_.seed, r, t.next_epoch, 0xE0u);
+        if (resume_state->rank_rng_seeds[r] != expected) {
+          throw std::invalid_argument(
+              "TrainConfig::checkpoint.resume: snapshot RNG stream for rank " +
+              std::to_string(r) +
+              " does not match this build's seed derivation");
+        }
+      }
+      start_epoch = std::min(t.next_epoch, config_.max_epochs);
+      DYNKGE_LOG_INFO("resuming from " << snapshot_file << " at epoch "
+                                       << start_epoch);
+    }
+  }
+
   TrainReport report;
   report.strategy_label = strategy.label();
   report.model_name = config_.model_name;
   report.num_nodes = num_nodes;
+  report.start_epoch = start_epoch;
+  if (resume_state.has_value()) {
+    report.epochs = start_epoch;
+    report.total_sim_seconds = resume_state->trainer.total_sim_seconds;
+    report.final_val_accuracy = resume_state->trainer.final_val_accuracy;
+    report.converged = resume_state->scheduler.stopped;
+    if (tel.metrics != nullptr) tel.metrics->counter("train.resumes").add(1);
+  }
 
   // The rank programs execute concurrently on a host thread pool — shared
   // across train() calls when the config provides one, otherwise scoped to
@@ -135,6 +296,12 @@ TrainReport DistributedTrainer::train() {
   report.host_threads = static_cast<int>(pool->size());
 
   comm::Cluster cluster(num_nodes, config_.network);
+  if (config_.fault_injector != nullptr) {
+    if (tel.metrics != nullptr) {
+      config_.fault_injector->set_metrics(tel.metrics);
+    }
+    cluster.set_fault_injector(config_.fault_injector);
+  }
 
   cluster.run([&](Communicator& comm) {
     const int rank = comm.rank();
@@ -194,6 +361,45 @@ TrainReport DistributedTrainer::train() {
     GradSelector relation_selector(strategy.selection,
                                    strategy.selection_residual);
 
+    // ---- resume: restore every piece of state a fresh run would have ---
+    if (resume_state.has_value()) {
+      const kge::TrainingSnapshot& snap = *resume_state;
+      std::copy(snap.model->entities().flat().begin(),
+                snap.model->entities().flat().end(),
+                model->entities().flat().begin());
+      std::copy(snap.model->relations().flat().begin(),
+                snap.model->relations().flat().end(),
+                model->relations().flat().begin());
+      entity_opt.restore(snap.entity_opt.step, snap.entity_opt.m,
+                         snap.entity_opt.v);
+      relation_opt.restore(snap.relation_opt.step, snap.relation_opt.m,
+                           snap.relation_opt.v);
+      scheduler.restore({snap.scheduler.lr, snap.scheduler.best_metric,
+                         snap.scheduler.stale_epochs,
+                         snap.scheduler.stopped});
+      selector.restore({snap.comm_selector.switched,
+                        snap.comm_selector.last_allreduce_time,
+                        snap.comm_selector.epochs_recorded,
+                        snap.comm_selector.allreduce_epochs});
+      auto residuals = decode_residual_maps(
+          snap.rank_residuals[static_cast<std::size_t>(rank)], 4);
+      entity_selector.restore_residuals(std::move(residuals[0]));
+      relation_selector.restore_residuals(std::move(residuals[1]));
+      exchange.restore_residuals(std::move(residuals[2]),
+                                 std::move(residuals[3]));
+      // The shard shuffle is cumulative (each epoch shuffles the previous
+      // epoch's order in place), so replay the completed epochs' shuffles
+      // to put the shard in the exact order the next epoch expects.
+      for (int epoch = 0; epoch < start_epoch; ++epoch) {
+        Rng replay_rng(util::derive_seed(config_.seed, rank, epoch, 0xE0u));
+        shuffle_triples(shard, replay_rng);
+      }
+    }
+    // Snapshots written by earlier runs count toward the persistent total.
+    int checkpoints_total =
+        resume_state.has_value() ? resume_state->trainer.checkpoints_written
+                                 : 0;
+
     // Registry instruments are resolved once per rank (find-or-create
     // takes a mutex); recording through the cached pointers is a relaxed
     // atomic per event.
@@ -212,7 +418,14 @@ TrainReport DistributedTrainer::train() {
       m_step_seconds = &tel.metrics->histogram("train.step_compute_seconds");
     }
 
-    for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    for (int epoch = start_epoch; epoch < config_.max_epochs; ++epoch) {
+      // A snapshot taken at the plateau stop restores as already-stopped;
+      // running even one more epoch would diverge from the uninterrupted
+      // run.
+      if (scheduler.should_stop()) {
+        if (rank == 0) report.converged = true;
+        break;
+      }
       const double sim_epoch_start = comm.sim_now();
       const double comm_epoch_start = comm.stats().total_modeled_seconds();
       const bool probe_epoch = selector.is_probe(epoch);
@@ -500,6 +713,134 @@ TrainReport DistributedTrainer::train() {
         DYNKGE_LOG_DEBUG("epoch " << epoch << " val=" << val_accuracy
                                   << " loss=" << cluster_loss
                                   << " lr=" << lr);
+      }
+
+      // ---- checkpoint (every N epochs, at convergence, and at the cap) --
+      // All collectives here are charge-free and the clocks are already
+      // aligned by the epoch-accounting allreduces above, so writing (or
+      // not writing) snapshots leaves the simulated timeline — and hence
+      // the DRS decisions and final embeddings — bit-identical.
+      if (checkpoint_enabled &&
+          ((epoch + 1) % ckpt.every == 0 ||
+           epoch + 1 == config_.max_epochs || scheduler.should_stop())) {
+        const obs::TraceSpan ckpt_span(tel.trace, "checkpoint.write", rank);
+
+        // Residual maps are rank-private; gather every rank's blob.
+        const std::string local_blob = encode_residual_maps(
+            {&entity_selector.residuals(), &relation_selector.residuals(),
+             &exchange.entity_residuals(), &exchange.relation_residuals()});
+        std::vector<std::byte> blob_bytes;
+        std::vector<std::size_t> blob_counts;
+        comm.allgatherv_bytes(
+            std::as_bytes(std::span<const char>(local_blob.data(),
+                                                local_blob.size())),
+            blob_bytes, blob_counts, /*charge_cost=*/false);
+
+        // Under relation partition rank 0's non-owned relation rows and
+        // Adam moments are stale (each rank only updates the relations it
+        // owns), so the owners contribute theirs.
+        std::vector<float> rel_gathered;
+        if (strategy.relation_partition) {
+          const auto [lo, hi] = relation_partition.relation_range[rank];
+          const std::size_t width =
+              static_cast<std::size_t>(model->relations().width());
+          std::vector<float> mine;
+          mine.reserve(3 * static_cast<std::size_t>(hi - lo) * width);
+          const kge::KgeModel& frozen = *model;
+          for (const kge::EmbeddingMatrix* matrix :
+               {&frozen.relations(), &relation_opt.moment1(),
+                &relation_opt.moment2()}) {
+            for (kge::RelationId r = lo; r < hi; ++r) {
+              const auto row = matrix->row(r);
+              mine.insert(mine.end(), row.begin(), row.end());
+            }
+          }
+          std::vector<std::byte> raw;
+          std::vector<std::size_t> counts;
+          comm.allgatherv_bytes(
+              std::as_bytes(std::span<const float>(mine)), raw, counts,
+              /*charge_cost=*/false);
+          rel_gathered.resize(raw.size() / sizeof(float));
+          if (!raw.empty()) {
+            std::memcpy(rel_gathered.data(), raw.data(), raw.size());
+          }
+        }
+
+        ++checkpoints_total;
+        if (rank == 0) {
+          kge::TrainingSnapshot snap;
+          snap.model = clone_model(*model, config_.model_name,
+                                   config_.embedding_rank);
+          snap.entity_opt = {entity_opt.step(), entity_opt.moment1(),
+                             entity_opt.moment2()};
+          snap.relation_opt = {relation_opt.step(), relation_opt.moment1(),
+                               relation_opt.moment2()};
+          if (strategy.relation_partition) {
+            // Overlay each owner's fresh rows into the snapshot copies.
+            const std::size_t width =
+                static_cast<std::size_t>(model->relations().width());
+            std::size_t offset = 0;
+            for (int r = 0; r < num_nodes; ++r) {
+              const auto [lo, hi] = relation_partition.relation_range[r];
+              for (kge::EmbeddingMatrix* matrix :
+                   {&snap.model->relations(), &snap.relation_opt.m,
+                    &snap.relation_opt.v}) {
+                for (kge::RelationId rel = lo; rel < hi; ++rel) {
+                  std::copy_n(rel_gathered.begin() +
+                                  static_cast<std::ptrdiff_t>(offset),
+                              width, matrix->row(rel).begin());
+                  offset += width;
+                }
+              }
+            }
+          }
+          snap.trainer.next_epoch = epoch + 1;
+          snap.trainer.num_nodes = num_nodes;
+          snap.trainer.seed = config_.seed;
+          snap.trainer.model_name = config_.model_name;
+          snap.trainer.embedding_rank = config_.embedding_rank;
+          snap.trainer.strategy_label = strategy.label();
+          snap.trainer.total_sim_seconds = report.total_sim_seconds;
+          snap.trainer.final_val_accuracy = report.final_val_accuracy;
+          snap.trainer.checkpoints_written = checkpoints_total;
+          const auto scheduler_state = scheduler.state();
+          snap.scheduler = {scheduler_state.lr, scheduler_state.best_metric,
+                            scheduler_state.stale_epochs,
+                            scheduler_state.stopped};
+          const auto selector_state = selector.state();
+          snap.comm_selector = {selector_state.switched,
+                                selector_state.last_allreduce_time,
+                                selector_state.epochs_recorded,
+                                selector_state.allreduce_epochs};
+          snap.rank_rng_seeds.reserve(num_nodes);
+          for (int r = 0; r < num_nodes; ++r) {
+            snap.rank_rng_seeds.push_back(
+                util::derive_seed(config_.seed, r, epoch + 1, 0xE0u));
+          }
+          std::size_t blob_offset = 0;
+          for (int r = 0; r < num_nodes; ++r) {
+            snap.rank_residuals.emplace_back(
+                reinterpret_cast<const char*>(blob_bytes.data()) +
+                    blob_offset,
+                blob_counts[r]);
+            blob_offset += blob_counts[r];
+          }
+
+          kge::SnapshotWriteOptions write_options;
+          if (epoch == ckpt.test_kill_at_epoch) {
+            write_options.test_kill_after_bytes = ckpt.test_kill_mid_write;
+          }
+          kge::save_snapshot(snap, snapshot_file, write_options);
+          report.checkpoints_written += 1;
+          if (tel.metrics != nullptr) {
+            tel.metrics->counter("train.checkpoints_written").add(1);
+          }
+          if (epoch == ckpt.test_kill_at_epoch) {
+            // Harness hook: die *after* the snapshot is durable (the
+            // mid-write variant never reaches this point).
+            ::raise(SIGKILL);
+          }
+        }
       }
 
       if (scheduler.should_stop()) {

@@ -73,6 +73,33 @@ struct TrainConfig {
 
   std::uint64_t seed = 1234;
 
+  /// Periodic full-state snapshots + resume (see kge/serialize.hpp and the
+  /// "Fault tolerance" section of the README). A killed run restarted with
+  /// `resume = true` continues from the last complete snapshot and produces
+  /// final embeddings byte-identical to an uninterrupted run.
+  struct CheckpointConfig {
+    std::string dir;  ///< empty = checkpointing off
+    int every = 1;    ///< write a snapshot every N epochs (and at the end)
+    /// Load `dir`'s snapshot before training and continue from its epoch.
+    /// If the directory holds no snapshot the run starts from scratch (the
+    /// crash may have predated the first checkpoint).
+    bool resume = false;
+
+    /// Test hooks for the kill/restart harness. `test_kill_at_epoch`
+    /// raises SIGKILL right after that epoch's snapshot write;
+    /// `test_kill_mid_write` additionally dies after that many bytes of
+    /// the snapshot temp file instead (proving the atomic-rename
+    /// guarantee). Negative = disabled.
+    int test_kill_at_epoch = -1;
+    std::int64_t test_kill_mid_write = -1;
+  };
+  CheckpointConfig checkpoint;
+
+  /// Optional fault injection (non-owning): forwarded to the simulated
+  /// cluster so every collective consults it. See comm/fault.hpp. An
+  /// injected rank crash surfaces as comm::RankFailedError from train().
+  comm::FaultInjector* fault_injector = nullptr;
+
   /// Optional warm start: every replica copies this model's parameters
   /// instead of random-initializing (shapes must match the dataset and
   /// model_name/rank). Enables incremental retraining from a checkpoint.
@@ -115,8 +142,11 @@ struct TrainReport {
   std::string model_name;
   int num_nodes = 1;
 
-  int epochs = 0;                  ///< the paper's N
+  int epochs = 0;                  ///< the paper's N (includes pre-resume)
   bool converged = false;          ///< plateau stop (vs max_epochs cap)
+  int start_epoch = 0;             ///< first epoch this run executed
+                                   ///< (non-zero after --resume)
+  int checkpoints_written = 0;     ///< snapshots written by this run
   double total_sim_seconds = 0.0;  ///< the paper's TT (simulated)
   double total_sim_hours() const { return total_sim_seconds / 3600.0; }
   double mean_epoch_seconds() const {

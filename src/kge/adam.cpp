@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace dynkge::kge {
 
@@ -12,6 +14,26 @@ void RowAdam::begin_step() {
   ++step_;
   bias1_ = 1.0 - std::pow(config_.beta1, static_cast<double>(step_));
   bias2_ = 1.0 - std::pow(config_.beta2, static_cast<double>(step_));
+}
+
+void RowAdam::restore(std::int64_t step, EmbeddingMatrix m,
+                      EmbeddingMatrix v) {
+  if (step < 0) {
+    throw std::invalid_argument("RowAdam::restore: negative step");
+  }
+  if (m.rows() != m_.rows() || m.width() != m_.width() ||
+      v.rows() != v_.rows() || v.width() != v_.width()) {
+    throw std::invalid_argument(
+        "RowAdam::restore: moment shape mismatch (optimizer is " +
+        std::to_string(m_.rows()) + "x" + std::to_string(m_.width()) +
+        ", checkpoint has " + std::to_string(m.rows()) + "x" +
+        std::to_string(m.width()) + ")");
+  }
+  step_ = step;
+  bias1_ = 1.0 - std::pow(config_.beta1, static_cast<double>(step_));
+  bias2_ = 1.0 - std::pow(config_.beta2, static_cast<double>(step_));
+  m_ = std::move(m);
+  v_ = std::move(v);
 }
 
 void RowAdam::update_row(std::int32_t row, std::span<const float> grad,

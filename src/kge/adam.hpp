@@ -43,6 +43,16 @@ class RowAdam {
   const AdamConfig& config() const { return config_; }
   std::int64_t step() const { return step_; }
 
+  /// Snapshot accessors: the persistent state is (step, m, v). The bias
+  /// corrections are derived from step by the next begin_step().
+  const EmbeddingMatrix& moment1() const { return m_; }
+  const EmbeddingMatrix& moment2() const { return v_; }
+
+  /// Restore the persistent state from a checkpoint. Throws
+  /// std::invalid_argument if the moment shapes do not match this
+  /// optimizer's shape or `step` is negative.
+  void restore(std::int64_t step, EmbeddingMatrix m, EmbeddingMatrix v);
+
  private:
   AdamConfig config_;
   std::int64_t step_ = 0;

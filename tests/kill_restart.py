@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Kill/restart harness for the dynkge checkpoint layer.
+
+Drives the real CLI binary through the fault-tolerance contract, per
+gradient-exchange strategy:
+
+  1. an uninterrupted reference run saving its final model,
+  2. a checkpointed run SIGKILLed right after epoch 1's snapshot,
+  3. a --resume run that must report the resumed epoch and produce a
+     final model byte-identical to the reference,
+  4. a run SIGKILLed 100 bytes into a snapshot *write* — the previous
+     snapshot must survive (atomic temp+rename) and resume must still
+     match the reference byte for byte,
+  5. a run with injected transient + straggler faults, which must retry,
+     finish, and still match the reference byte for byte,
+  6. a run with an injected rank crash, which must exit with the CLI's
+     RankFailedError status (3) instead of hanging.
+
+Usage: kill_restart.py <dynkge-binary> <data-dir> <work-dir> <strategy>
+"""
+
+import pathlib
+import shutil
+import subprocess
+import sys
+
+TIMEOUT_SECONDS = 600  # a hang (deadlocked barrier) becomes a failure
+SIGKILL_CODES = (-9, 137)
+RANK_FAILED_EXIT = 3
+
+
+def run(cmd, expect=0):
+    """Run a CLI invocation; returncode must be in `expect` (int or tuple)."""
+    print("+", " ".join(str(c) for c in cmd), flush=True)
+    proc = subprocess.run(
+        [str(c) for c in cmd],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        timeout=TIMEOUT_SECONDS,
+    )
+    text = proc.stdout.decode(errors="replace")
+    print(text, flush=True)
+    codes = expect if isinstance(expect, tuple) else (expect,)
+    if proc.returncode not in codes:
+        sys.exit(
+            f"FAIL: expected exit in {codes}, got {proc.returncode}: {cmd}"
+        )
+    return text
+
+
+def expect_same_bytes(a, b, what):
+    if pathlib.Path(a).read_bytes() != pathlib.Path(b).read_bytes():
+        sys.exit(f"FAIL: {what}: {a} and {b} differ")
+    print(f"ok: {what}: byte-identical", flush=True)
+
+
+def main():
+    if len(sys.argv) != 5:
+        sys.exit(__doc__)
+    binary, data, work, strategy = sys.argv[1:]
+    work = pathlib.Path(work)
+    shutil.rmtree(work, ignore_errors=True)
+    work.mkdir(parents=True)
+
+    base = [
+        binary, "train", "--data", data, "--strategy", strategy,
+        "--nodes", "2", "--rank", "8", "--batch", "500",
+        "--max-epochs", "4", "--tolerance", "3", "--seed", "7",
+    ]
+
+    # 1. Uninterrupted reference.
+    reference = work / "reference.dkge"
+    run(base + ["--save-model", reference])
+
+    # 2. Kill right after epoch 1's snapshot is durable.
+    ckpt = work / "ckpt"
+    run(base + ["--checkpoint-dir", ckpt, "--kill-at-epoch", "1"],
+        expect=SIGKILL_CODES)
+    if not (ckpt / "snapshot.dkgs").exists():
+        sys.exit("FAIL: kill run left no snapshot behind")
+
+    # 3. Resume and finish; final model must match the reference exactly.
+    resumed = work / "resumed.dkge"
+    out = run(base + ["--checkpoint-dir", ckpt, "--resume",
+                      "--save-model", resumed])
+    if "resumed from epoch 2" not in out:
+        sys.exit("FAIL: resume did not continue from epoch 2")
+    expect_same_bytes(reference, resumed, f"{strategy} kill/resume")
+
+    # 4. Kill mid-write: 100 bytes into epoch 2's snapshot temp file. The
+    # epoch-1 snapshot must be untouched and resume must still match.
+    ckpt2 = work / "ckpt_midwrite"
+    run(base + ["--checkpoint-dir", ckpt2, "--kill-at-epoch", "2",
+                "--kill-mid-write", "100"], expect=SIGKILL_CODES)
+    snapshot = ckpt2 / "snapshot.dkgs"
+    torn = ckpt2 / "snapshot.dkgs.tmp"
+    if not snapshot.exists():
+        sys.exit("FAIL: mid-write kill destroyed the previous snapshot")
+    if torn.exists() and torn.stat().st_size != 100:
+        sys.exit(f"FAIL: torn temp file has {torn.stat().st_size} bytes, "
+                 "expected the 100 written before the kill")
+    resumed2 = work / "resumed_midwrite.dkge"
+    out = run(base + ["--checkpoint-dir", ckpt2, "--resume",
+                      "--save-model", resumed2])
+    if "resumed from epoch 2" not in out:
+        sys.exit("FAIL: mid-write resume did not continue from epoch 2")
+    expect_same_bytes(reference, resumed2, f"{strategy} mid-write resume")
+
+    # 5. Recovered transients + a straggler change nothing but the clock.
+    faulted = work / "faulted.dkge"
+    out = run(base + ["--fault-spec", "transient@1@40@2,straggler@0@10@0.5",
+                      "--save-model", faulted])
+    if "1 transients" not in out or "1 stragglers" not in out:
+        sys.exit("FAIL: fault counters missing from CLI summary")
+    expect_same_bytes(reference, faulted, f"{strategy} transient faults")
+
+    # 6. A rank crash must surface as a clean failure, not a hang.
+    run(base + ["--fault-spec", "crash@1@40"], expect=RANK_FAILED_EXIT)
+
+    print(f"PASS: kill/restart contract holds for strategy {strategy}")
+
+
+if __name__ == "__main__":
+    main()

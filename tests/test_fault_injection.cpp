@@ -1,0 +1,185 @@
+// Fault-injection matrix over the simulated cluster: every fault kind ×
+// cluster size must terminate (no deadlock), propagate RankFailedError
+// with the failing rank, and — for recovered transients — leave results
+// identical to a clean run.
+#include "comm/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace dynkge::comm {
+namespace {
+
+/// A rank program that runs `steps` allreduces with a barrier sprinkled
+/// in, returning the final reduced value (identical on every rank of a
+/// clean run).
+double collective_loop(Communicator& comm, int steps) {
+  double value = static_cast<double>(comm.rank() + 1);
+  for (int step = 0; step < steps; ++step) {
+    value = comm.allreduce_scalar(value, ScalarOp::kSum) /
+            static_cast<double>(comm.size());
+    if (step % 7 == 3) comm.barrier();
+  }
+  return value;
+}
+
+class FaultMatrixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultMatrixTest, CrashPropagatesRankFailedWithoutDeadlock) {
+  const int num_ranks = GetParam();
+  const int victim = num_ranks - 1;
+  FaultInjector injector(
+      {FaultEvent{FaultKind::kRankCrash, victim, /*collective_index=*/9}});
+  Cluster cluster(num_ranks);
+  cluster.set_fault_injector(&injector);
+  try {
+    cluster.run([&](Communicator& comm) { collective_loop(comm, 40); });
+    FAIL() << "crash did not propagate";
+  } catch (const RankFailedError& error) {
+    EXPECT_EQ(error.rank(), victim);
+    EXPECT_NE(std::string(error.what()).find("rank " +
+                                             std::to_string(victim)),
+              std::string::npos);
+  }
+  EXPECT_EQ(injector.counters().crashes, 1u);
+}
+
+TEST_P(FaultMatrixTest, TransientIsRetriedAndResultsUnchanged) {
+  const int num_ranks = GetParam();
+
+  std::vector<double> clean(num_ranks, 0.0);
+  Cluster reference(num_ranks);
+  reference.run([&](Communicator& comm) {
+    clean[comm.rank()] = collective_loop(comm, 40);
+  });
+
+  FaultInjector injector({FaultEvent{FaultKind::kTransient, /*rank=*/0,
+                                     /*collective_index=*/12,
+                                     /*failures=*/2}});
+  std::vector<double> faulted(num_ranks, 0.0);
+  Cluster cluster(num_ranks);
+  cluster.set_fault_injector(&injector);
+  cluster.run([&](Communicator& comm) {
+    faulted[comm.rank()] = collective_loop(comm, 40);
+  });
+
+  EXPECT_EQ(clean, faulted);  // bit-identical despite the injected fault
+  const FaultCounters counters = injector.counters();
+  EXPECT_EQ(counters.transients, 1u);
+  EXPECT_EQ(counters.retries, 2u);
+  EXPECT_GT(counters.backoff_seconds, 0.0);
+  EXPECT_EQ(counters.crashes, 0u);
+  EXPECT_EQ(counters.exhausted, 0u);
+}
+
+TEST_P(FaultMatrixTest, StragglerDelaysEveryRanksClock) {
+  const int num_ranks = GetParam();
+  const double delay = 0.25;
+
+  std::vector<double> clean_clock(num_ranks, 0.0);
+  Cluster reference(num_ranks);
+  reference.run([&](Communicator& comm) {
+    collective_loop(comm, 40);
+    clean_clock[comm.rank()] = comm.sim_now();
+  });
+
+  FaultInjector injector({FaultEvent{FaultKind::kStraggler, /*rank=*/0,
+                                     /*collective_index=*/5, /*failures=*/1,
+                                     delay}});
+  std::vector<double> slow_clock(num_ranks, 0.0);
+  Cluster cluster(num_ranks);
+  cluster.set_fault_injector(&injector);
+  cluster.run([&](Communicator& comm) {
+    collective_loop(comm, 40);
+    slow_clock[comm.rank()] = comm.sim_now();
+  });
+
+  EXPECT_EQ(injector.counters().stragglers, 1u);
+  // The clock alignment at the next collective spreads the stall to every
+  // rank — exactly what a straggler does to a synchronous cluster.
+  for (int r = 0; r < num_ranks; ++r) {
+    EXPECT_GE(slow_clock[r], clean_clock[r] + delay - 1e-12)
+        << "rank " << r << " did not feel the straggler";
+  }
+}
+
+TEST_P(FaultMatrixTest, ExhaustedRetriesEscalateToRankFailed) {
+  const int num_ranks = GetParam();
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  FaultInjector injector({FaultEvent{FaultKind::kTransient, /*rank=*/1,
+                                     /*collective_index=*/4,
+                                     /*failures=*/3}},
+                         policy);
+  Cluster cluster(num_ranks);
+  cluster.set_fault_injector(&injector);
+  EXPECT_THROW(
+      cluster.run([&](Communicator& comm) { collective_loop(comm, 40); }),
+      RankFailedError);
+  EXPECT_EQ(injector.counters().exhausted, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Clusters, FaultMatrixTest, ::testing::Values(2, 4));
+
+TEST(FaultInjector, ParseSpecRoundTrip) {
+  const auto events = FaultInjector::parse_spec(
+      "crash@1@40,transient@0@12@2,straggler@2@30@0.5");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FaultKind::kRankCrash);
+  EXPECT_EQ(events[0].rank, 1);
+  EXPECT_EQ(events[0].collective_index, 40u);
+  EXPECT_EQ(events[1].kind, FaultKind::kTransient);
+  EXPECT_EQ(events[1].failures, 2);
+  EXPECT_EQ(events[2].kind, FaultKind::kStraggler);
+  EXPECT_DOUBLE_EQ(events[2].delay_seconds, 0.5);
+}
+
+TEST(FaultInjector, ParseSpecRejectsMalformedInput) {
+  EXPECT_THROW(FaultInjector::parse_spec("explode@0@1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse_spec("crash@0"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse_spec("crash@x@1"),
+               std::invalid_argument);
+  // An empty spec is a valid empty schedule (the CLI's default).
+  EXPECT_TRUE(FaultInjector::parse_spec("").empty());
+}
+
+TEST(FaultInjector, RandomScheduleIsDeterministicInSeed) {
+  // Two injectors from the same seed must fire the exact same faults when
+  // driven through identical cluster runs (no crashes in the mix so the
+  // runs complete).
+  auto a = FaultInjector::random(123, 2, 400, 0.0, 0.05, 0.05);
+  auto b = FaultInjector::random(123, 2, 400, 0.0, 0.05, 0.05);
+  EXPECT_EQ(a.scheduled_events(), b.scheduled_events());
+  EXPECT_GT(a.scheduled_events(), 0u);
+  for (FaultInjector* injector : {&a, &b}) {
+    Cluster cluster(2);
+    cluster.set_fault_injector(injector);
+    cluster.run([&](Communicator& comm) { collective_loop(comm, 100); });
+  }
+  EXPECT_EQ(a.counters().transients, b.counters().transients);
+  EXPECT_EQ(a.counters().stragglers, b.counters().stragglers);
+  EXPECT_EQ(a.counters().retries, b.counters().retries);
+  EXPECT_GT(a.counters().transients + a.counters().stragglers, 0u);
+}
+
+TEST(FaultInjector, NoFaultsMeansNoOverhead) {
+  FaultInjector injector(std::vector<FaultEvent>{});
+  Cluster cluster(2);
+  cluster.set_fault_injector(&injector);
+  std::vector<double> out(2, 0.0);
+  cluster.run([&](Communicator& comm) {
+    out[comm.rank()] = collective_loop(comm, 10);
+  });
+  EXPECT_EQ(out[0], out[1]);
+  const FaultCounters counters = injector.counters();
+  EXPECT_EQ(counters.crashes + counters.transients + counters.stragglers,
+            0u);
+}
+
+}  // namespace
+}  // namespace dynkge::comm

@@ -19,6 +19,23 @@
 //                   [--events-out f.jsonl]  per-epoch per-rank strategy
 //                                       event stream (probe decisions,
 //                                       keep rate, bytes on wire, ...)
+//                   [--checkpoint-dir d]  write atomic training snapshots
+//                                       into d (full state: model, Adam
+//                                       moments, scheduler, DRS, RNG
+//                                       streams, residuals)
+//                   [--checkpoint-every N]  snapshot period in epochs (1)
+//                   [--resume]          continue from d's snapshot; the
+//                                       final embeddings are byte-identical
+//                                       to an uninterrupted run
+//                   [--fault-spec s]    inject collective faults, e.g.
+//                                       "crash@1@40,transient@0@12@2,
+//                                       straggler@2@30@0.5" (see
+//                                       comm/fault.hpp)
+//                   [--kill-at-epoch N] test hook: SIGKILL self right after
+//                                       epoch N's snapshot is durable
+//                   [--kill-mid-write B]  with --kill-at-epoch: die after B
+//                                       bytes of the snapshot temp file
+//                                       instead (atomicity harness)
 //                   [--save-model file] [--report file.json]
 //   dynkge eval     --data <dir> --model-file <file>       evaluate a saved
 //                                                          model
@@ -43,6 +60,7 @@
 
 #include "serve/service.hpp"
 
+#include "comm/fault.hpp"
 #include "core/distributed_eval.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
@@ -191,6 +209,22 @@ int cmd_train(const util::ArgParser& args) {
   config.strategy.dynamic_probe_interval = static_cast<int>(args.get_int(
       "probe-interval", config.strategy.dynamic_probe_interval));
 
+  // Fault tolerance: periodic snapshots + resume, and injected faults.
+  config.checkpoint.dir = args.get_string("checkpoint-dir", "");
+  config.checkpoint.every =
+      static_cast<int>(args.get_int("checkpoint-every", 1));
+  config.checkpoint.resume = args.get_bool("resume", false);
+  config.checkpoint.test_kill_at_epoch =
+      static_cast<int>(args.get_int("kill-at-epoch", -1));
+  config.checkpoint.test_kill_mid_write = args.get_int("kill-mid-write", -1);
+  std::unique_ptr<comm::FaultInjector> faults;
+  const std::string fault_spec = args.get_string("fault-spec", "");
+  if (!fault_spec.empty()) {
+    faults = std::make_unique<comm::FaultInjector>(
+        comm::FaultInjector::parse_spec(fault_spec));
+    config.fault_injector = faults.get();
+  }
+
   // Telemetry sinks (src/obs/) — created only when a flag asks for them,
   // so the default train run pays nothing.
   std::unique_ptr<obs::MetricsRegistry> metrics;
@@ -215,7 +249,34 @@ int cmd_train(const util::ArgParser& args) {
   std::cout << "training " << config.strategy.label() << " ("
             << config.model_name << ", rank " << config.embedding_rank
             << ") on " << config.num_nodes << " simulated nodes...\n";
-  const auto report = core::DistributedTrainer(dataset, config).train();
+  core::TrainReport report;
+  try {
+    report = core::DistributedTrainer(dataset, config).train();
+  } catch (const comm::RankFailedError& error) {
+    // Distinct exit code so harnesses can tell "rank died" from bad flags.
+    std::cerr << "dynkge train: " << error.what() << "\n";
+    if (faults != nullptr) {
+      const auto c = faults->counters();
+      std::cerr << "faults: " << c.crashes << " crashes, " << c.transients
+                << " transients recovered, " << c.exhausted
+                << " retry budgets exhausted\n";
+    }
+    return 3;
+  }
+  if (report.start_epoch > 0) {
+    std::cout << "resumed from epoch " << report.start_epoch << "\n";
+  }
+  if (!config.checkpoint.dir.empty()) {
+    std::cout << "checkpoints: " << report.checkpoints_written
+              << " written to " << config.checkpoint.dir << "\n";
+  }
+  if (faults != nullptr) {
+    const auto c = faults->counters();
+    std::cout << "faults injected: " << c.crashes << " crashes, "
+              << c.transients << " transients (" << c.retries
+              << " retries, " << c.backoff_seconds << " s backoff), "
+              << c.stragglers << " stragglers\n";
+  }
   std::cout << "epochs: " << report.epochs
             << "  TT(sim): " << report.total_sim_seconds << " s"
             << "  TCA: " << report.tca << " %"
