@@ -20,13 +20,18 @@ void Barrier::arrive_and_wait() {
     return generation_ != my_generation ||
            aborted_.load(std::memory_order_acquire);
   });
-  if (aborted_.load(std::memory_order_acquire)) throw AbortedError{};
+  // A completed generation releases normally even when an abort raced in
+  // after the last arrival — the fault check's verdict protocol
+  // (Communicator::check_faults) depends on every released rank getting to
+  // act on the verdict slots. Only a wait whose generation never completed
+  // turns into AbortedError; the abort still poisons all future entries
+  // via the check above.
+  if (generation_ == my_generation) throw AbortedError{};
 }
 
 void Barrier::abort() {
   std::lock_guard<std::mutex> lock(mu_);
   aborted_.store(true, std::memory_order_release);
-  ++generation_;  // unblock anyone who checks the generation predicate
   cv_.notify_all();
 }
 
@@ -170,9 +175,25 @@ void Cluster::run(const std::function<void(Communicator&)>& fn,
     }
   });
 
-  for (const auto& error : errors) {
-    if (error) std::rethrow_exception(error);
+  // Aggregate rank deaths: surface every RankFailedError as one error
+  // carrying the full set. Simultaneous crashes are deterministic — the
+  // fault check's verdict barrier (Communicator::check_faults) guarantees
+  // every victim reaches its own check before any rank unwinds. Any
+  // non-rank-death error takes precedence, lowest rank first.
+  std::vector<RankFailedError::Failure> failures;
+  for (int r = 0; r < num_ranks_; ++r) {
+    if (!errors[r]) continue;
+    try {
+      std::rethrow_exception(errors[r]);
+    } catch (const RankFailedError& error) {
+      for (const auto& failure : error.failures()) {
+        failures.push_back(failure);
+      }
+    } catch (...) {
+      std::rethrow_exception(errors[r]);
+    }
   }
+  if (!failures.empty()) throw RankFailedError(std::move(failures));
 }
 
 void Cluster::run(const std::function<void(Communicator&)>& fn) {

@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstring>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <span>
@@ -81,13 +82,18 @@ struct SharedState {
         ptr(num_ranks, nullptr),
         size(num_ranks, 0),
         clock(num_ranks, 0.0),
-        scalar(num_ranks, 0.0) {}
+        scalar(num_ranks, 0.0),
+        fault(num_ranks) {}
 
   Barrier barrier;
   std::vector<const std::byte*> ptr;
   std::vector<std::size_t> size;
   std::vector<double> clock;
   std::vector<double> scalar;
+  /// Per-rank fatal-fault verdicts for the current collective's entry
+  /// phase (see Communicator::check_faults). Each rank writes only its own
+  /// slot before the verdict barrier and reads the others after it.
+  std::vector<std::exception_ptr> fault;
 };
 
 /// One rank's handle to the cluster: identity, collectives, cost accounting
@@ -178,6 +184,13 @@ class Communicator {
   /// schedule keys on).
   std::uint64_t collectives_entered() const { return collective_index_; }
 
+  /// Tell the injector which training epoch this rank is in, so
+  /// epoch-scoped fault events ("crash@1@e2") can fire. -1 (the default)
+  /// means "outside any epoch". Set at the top of each epoch by the
+  /// trainer; purely rank-local.
+  void set_fault_epoch(int epoch) { fault_epoch_ = epoch; }
+  int fault_epoch() const { return fault_epoch_; }
+
  private:
   /// Account one collective: statistics, optional trace entry, and the
   /// simulated-clock advance. Single funnel for every cost in this class.
@@ -189,14 +202,31 @@ class Communicator {
     sim_now_ += seconds;
   }
   /// Fault-injection hook, called at the entry of every collective before
-  /// this rank publishes. A crash (or exhausted transient) throws
-  /// RankFailedError here — siblings are still parked at the barrier, so
-  /// Cluster::run can abort them cleanly. Straggler delays advance the
-  /// simulated clock; recovered transients cost nothing.
+  /// this rank publishes. Two phases so that simultaneous rank deaths at
+  /// the same collective are deterministic: every rank first evaluates its
+  /// own fault and publishes the verdict, then a barrier, then victims
+  /// throw RankFailedError while survivors unwind with AbortedError. The
+  /// barrier guarantees no rank can be torn out of the collective before
+  /// reaching its own fault check, so Cluster::run always observes the
+  /// complete set of deaths regardless of host thread timing. Straggler
+  /// delays advance the simulated clock; recovered transients cost
+  /// nothing. Without an injector this is index bookkeeping only.
   void check_faults() {
     const std::uint64_t index = collective_index_++;
     if (injector_ == nullptr) return;
-    const double delay = injector_->before_collective(rank_, index);
+    std::exception_ptr my_fault;
+    double delay = 0.0;
+    try {
+      delay = injector_->before_collective(rank_, index, fault_epoch_);
+    } catch (const RankFailedError&) {
+      my_fault = std::current_exception();
+    }
+    state_.fault[rank_] = my_fault;
+    state_.barrier.arrive_and_wait();
+    if (my_fault != nullptr) std::rethrow_exception(my_fault);
+    for (int r = 0; r < num_ranks_; ++r) {
+      if (state_.fault[r] != nullptr) throw AbortedError{};
+    }
     if (delay > 0.0) sim_add_compute(delay);
   }
 
@@ -220,6 +250,7 @@ class Communicator {
   double sim_now_ = 0.0;
   FaultInjector* injector_ = nullptr;
   std::uint64_t collective_index_ = 0;
+  int fault_epoch_ = -1;
 };
 
 /// Owns the simulated cluster: executes one rank program per rank on a
@@ -234,11 +265,14 @@ class Cluster {
   int num_ranks() const { return num_ranks_; }
   const CostModel& cost_model() const { return model_; }
 
-  /// Run fn on every rank of `pool`; blocks until all ranks finish. If any
-  /// rank throws, the others are aborted and the lowest-rank exception is
-  /// rethrown. The pool may be shared (across train() calls, or with the
-  /// serving layer); ranks beyond its free capacity run on transient
-  /// overflow threads, so any pool size is safe.
+  /// Run fn on every rank of `pool`; blocks until all ranks finish. If
+  /// ranks throw, the others are aborted; when every recorded failure is a
+  /// RankFailedError (rank deaths) one aggregated RankFailedError carrying
+  /// the full set is thrown — so elastic recovery and fail-fast reporting
+  /// see simultaneous multi-rank crashes — otherwise the lowest-rank
+  /// exception is rethrown. The pool may be shared (across train() calls,
+  /// or with the serving layer); ranks beyond its free capacity run on
+  /// transient overflow threads, so any pool size is safe.
   void run(const std::function<void(Communicator&)>& fn,
            util::ThreadPool& pool);
 

@@ -1,5 +1,6 @@
 #include "comm/fault.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/rng.hpp"
@@ -24,7 +25,42 @@ FaultKind kind_by_name(const std::string& name) {
       "' (expected crash|transient|straggler)");
 }
 
+/// Where an event fires, for error messages: "collective #12" or
+/// "epoch 3".
+std::string site_of(const FaultEvent& event) {
+  if (event.epoch >= 0) return "epoch " + std::to_string(event.epoch);
+  return "collective #" + std::to_string(event.collective_index);
+}
+
 }  // namespace
+
+std::vector<RankFailedError::Failure> RankFailedError::sort_by_rank(
+    std::vector<Failure> failures) {
+  if (failures.empty()) {
+    throw std::logic_error("RankFailedError: empty failure set");
+  }
+  std::sort(failures.begin(), failures.end(),
+            [](const Failure& a, const Failure& b) { return a.rank < b.rank; });
+  return failures;
+}
+
+std::string RankFailedError::describe(const std::vector<Failure>& failures) {
+  if (failures.size() == 1) {
+    return "rank " + std::to_string(failures.front().rank) + " failed: " +
+           failures.front().what;
+  }
+  std::string ranks;
+  for (const Failure& f : failures) {
+    if (!ranks.empty()) ranks += ",";
+    ranks += std::to_string(f.rank);
+  }
+  std::string message = "ranks " + ranks + " failed:";
+  for (const Failure& f : failures) {
+    message += " [rank " + std::to_string(f.rank) + "] " + f.what + ";";
+  }
+  message.pop_back();
+  return message;
+}
 
 const char* to_string(FaultKind kind) {
   switch (kind) {
@@ -52,9 +88,20 @@ FaultInjector::FaultInjector(std::vector<FaultEvent> schedule,
     if (event.collective_index >= kRankStride) {
       throw std::invalid_argument("FaultInjector: collective index too large");
     }
-    events_[key(event.rank, event.collective_index)] = event;
+    if (event.epoch >= 0) {
+      epoch_events_[key(event.rank,
+                        static_cast<std::uint64_t>(event.epoch))] = {event, 0};
+    } else {
+      events_[key(event.rank, event.collective_index)] = {event, 0};
+    }
   }
-  num_events_ = events_.size();
+  // Assign one-shot slots after dedup (the maps keep only the last event
+  // per address, matching the pre-elastic behavior).
+  std::size_t slot = 0;
+  for (auto& [address, scheduled] : events_) scheduled.slot = slot++;
+  for (auto& [address, scheduled] : epoch_events_) scheduled.slot = slot++;
+  num_events_ = slot;
+  fired_ = std::make_unique<std::atomic<bool>[]>(slot > 0 ? slot : 1);
 }
 
 FaultInjector FaultInjector::random(std::uint64_t seed, int num_ranks,
@@ -107,7 +154,15 @@ std::vector<FaultEvent> FaultInjector::parse_spec(const std::string& spec) {
     try {
       event.kind = kind_by_name(parts[0]);
       event.rank = std::stoi(parts[1]);
-      event.collective_index = std::stoull(parts[2]);
+      if (!parts[2].empty() && parts[2][0] == 'e') {
+        // Epoch-scoped address: "e2" = first collective of epoch 2.
+        event.epoch = std::stoi(parts[2].substr(1));
+        if (event.epoch < 0) {
+          throw std::invalid_argument("negative epoch");
+        }
+      } else {
+        event.collective_index = std::stoull(parts[2]);
+      }
       if (parts.size() == 4) {
         if (event.kind == FaultKind::kStraggler) {
           event.delay_seconds = std::stod(parts[3]);
@@ -127,17 +182,34 @@ std::vector<FaultEvent> FaultInjector::parse_spec(const std::string& spec) {
   return schedule;
 }
 
-double FaultInjector::before_collective(int rank, std::uint64_t index) {
-  if (events_.empty()) return 0.0;
-  const auto it = events_.find(key(rank, index));
-  if (it == events_.end()) return 0.0;
-  const FaultEvent& event = it->second;
+double FaultInjector::before_collective(int rank, std::uint64_t index,
+                                        int epoch) {
+  const Scheduled* hit = nullptr;
+  if (!events_.empty()) {
+    const auto it = events_.find(key(rank, index));
+    if (it != events_.end()) hit = &it->second;
+  }
+  if (hit == nullptr && epoch >= 0 && !epoch_events_.empty()) {
+    const auto it =
+        epoch_events_.find(key(rank, static_cast<std::uint64_t>(epoch)));
+    if (it != epoch_events_.end()) hit = &it->second;
+  }
+  if (hit == nullptr) return 0.0;
+  // One-shot: after elastic recovery the rank-local indices restart, and a
+  // consumed event must not fire again on the rank that inherits the id.
+  if (fired_[hit->slot].exchange(true, std::memory_order_relaxed)) {
+    return 0.0;
+  }
+  return fire(*hit, rank);
+}
+
+double FaultInjector::fire(const Scheduled& scheduled, int rank) {
+  const FaultEvent& event = scheduled.event;
   switch (event.kind) {
     case FaultKind::kRankCrash: {
       crashes_.fetch_add(1, std::memory_order_relaxed);
       if (m_crashes_ != nullptr) m_crashes_->add(1);
-      throw RankFailedError(rank, "injected crash at collective #" +
-                                      std::to_string(index));
+      throw RankFailedError(rank, "injected crash at " + site_of(event));
     }
     case FaultKind::kTransient: {
       // The collective fails `failures` times; each failure costs one
@@ -148,7 +220,7 @@ double FaultInjector::before_collective(int rank, std::uint64_t index) {
         exhausted_.fetch_add(1, std::memory_order_relaxed);
         if (m_exhausted_ != nullptr) m_exhausted_->add(1);
         throw RankFailedError(
-            rank, "transient fault at collective #" + std::to_string(index) +
+            rank, "transient fault at " + site_of(event) +
                       " persisted through " +
                       std::to_string(policy_.max_attempts) + " attempts");
       }

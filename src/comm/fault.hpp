@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -42,20 +43,52 @@
 
 namespace dynkge::comm {
 
-/// Thrown when a rank dies (injected crash, or a transient fault that
-/// exhausted its retry budget). Cluster::run rethrows it to the caller
-/// after aborting the surviving ranks at their next barrier.
+/// Thrown when one or more ranks die (injected crash, or a transient
+/// fault that exhausted its retry budget). Cluster::run aggregates the
+/// failures of a single run — two ranks crashing at the same collective
+/// both appear — aborts the surviving ranks at their next barrier, and
+/// rethrows one error carrying the full set, so elastic recovery can
+/// shrink the world by more than one rank at a time.
 class RankFailedError : public std::runtime_error {
  public:
+  struct Failure {
+    int rank = 0;
+    std::string what;
+  };
+
   RankFailedError(int rank, const std::string& what)
       : std::runtime_error("rank " + std::to_string(rank) + " failed: " +
                            what),
-        rank_(rank) {}
+        failures_{{rank, what}} {}
 
-  int rank() const { return rank_; }
+  /// Aggregate constructor; failures are sorted by rank.
+  explicit RankFailedError(std::vector<Failure> failures)
+      : RankFailedError(Sorted{}, sort_by_rank(std::move(failures))) {}
+
+  /// Lowest failed rank (single-failure callers see the only rank).
+  int rank() const { return failures_.front().rank; }
+
+  /// Every failed rank with its per-rank reason, ascending by rank.
+  const std::vector<Failure>& failures() const { return failures_; }
+
+  /// Just the failed rank ids, ascending.
+  std::vector<int> ranks() const {
+    std::vector<int> out;
+    out.reserve(failures_.size());
+    for (const Failure& f : failures_) out.push_back(f.rank);
+    return out;
+  }
 
  private:
-  int rank_;
+  struct Sorted {};
+  RankFailedError(Sorted, std::vector<Failure> failures)
+      : std::runtime_error(describe(failures)),
+        failures_(std::move(failures)) {}
+
+  static std::vector<Failure> sort_by_rank(std::vector<Failure> failures);
+  static std::string describe(const std::vector<Failure>& failures);
+
+  std::vector<Failure> failures_;
 };
 
 enum class FaultKind : std::uint8_t {
@@ -68,13 +101,23 @@ const char* to_string(FaultKind kind);
 
 /// One scheduled fault: fires on `rank` at its `collective_index`-th
 /// collective (rank-local, 0-based — deterministic regardless of host
-/// thread scheduling).
+/// thread scheduling). With `epoch >= 0` the event is epoch-scoped
+/// instead: it fires at the rank's first collective inside that training
+/// epoch, which keeps fault schedules aligned across resume/restart and
+/// elastic shrink (epoch e is still epoch e after either).
+///
+/// Every event fires at most once per injector lifetime: after elastic
+/// recovery the rank-local collective indices restart from zero, and a
+/// consumed crash must not kill the survivor that inherited the victim's
+/// rank id.
 struct FaultEvent {
   FaultKind kind = FaultKind::kTransient;
   int rank = 0;
   std::uint64_t collective_index = 0;
   int failures = 1;            ///< transient: failed attempts before success
   double delay_seconds = 0.1;  ///< straggler: simulated stall
+  int epoch = -1;              ///< >= 0: fire on the first collective of
+                               ///< this epoch instead of by index
 };
 
 /// Bounded retry with exponential backoff for transient collective faults.
@@ -112,15 +155,20 @@ class FaultInjector {
   ///   crash@RANK@INDEX
   ///   transient@RANK@INDEX[@FAILURES]
   ///   straggler@RANK@INDEX[@DELAY_SECONDS]
-  /// e.g. "transient@1@40@2,straggler@0@10@0.5". Throws
-  /// std::invalid_argument on malformed specs.
+  /// where INDEX is either a rank-local collective index ("40") or an
+  /// epoch address ("e2": first collective of epoch 2 — stable across
+  /// restarts and elastic shrink). e.g. "transient@1@40@2,crash@1@e2".
+  /// Throws std::invalid_argument on malformed specs.
   static std::vector<FaultEvent> parse_spec(const std::string& spec);
 
-  /// Called by a rank at the entry of its `index`-th collective. Returns
-  /// straggler seconds to add to the rank's simulated clock (0 for no
-  /// fault). Throws RankFailedError for crash events and for transient
-  /// events whose `failures` meets or exceeds the retry budget.
-  double before_collective(int rank, std::uint64_t index);
+  /// Called by a rank at the entry of its `index`-th collective; `epoch`
+  /// is the caller's current training epoch (-1 outside an epoch — epoch-
+  /// scoped events then cannot fire). Returns straggler seconds to add to
+  /// the rank's simulated clock (0 for no fault). Throws RankFailedError
+  /// for crash events and for transient events whose `failures` meets or
+  /// exceeds the retry budget. Each scheduled event fires at most once
+  /// per injector lifetime.
+  double before_collective(int rank, std::uint64_t index, int epoch = -1);
 
   const RetryPolicy& policy() const { return policy_; }
   FaultCounters counters() const;
@@ -131,14 +179,25 @@ class FaultInjector {
   void set_metrics(obs::MetricsRegistry* metrics);
 
  private:
-  /// Key = rank * kRankStride + collective_index.
+  /// Key = rank * kRankStride + collective_index (or epoch, for the
+  /// epoch-scoped map).
   static std::uint64_t key(int rank, std::uint64_t index) {
     return static_cast<std::uint64_t>(rank) * kRankStride + index;
   }
   static constexpr std::uint64_t kRankStride = 1ULL << 48;
 
+  /// A schedule entry plus its slot in the fired_ one-shot bitmap.
+  struct Scheduled {
+    FaultEvent event;
+    std::size_t slot = 0;
+  };
+
+  double fire(const Scheduled& scheduled, int rank);
+
   RetryPolicy policy_;
-  std::unordered_map<std::uint64_t, FaultEvent> events_;
+  std::unordered_map<std::uint64_t, Scheduled> events_;        // by index
+  std::unordered_map<std::uint64_t, Scheduled> epoch_events_;  // by epoch
+  std::unique_ptr<std::atomic<bool>[]> fired_;
   std::size_t num_events_ = 0;
 
   std::atomic<std::uint64_t> crashes_{0};

@@ -1,0 +1,90 @@
+#include "comm/recovery.hpp"
+
+#include "util/json_writer.hpp"
+
+namespace dynkge::comm {
+namespace {
+
+std::string join_ranks(const std::vector<int>& ranks) {
+  std::string out;
+  for (int rank : ranks) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(rank);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RecoveryPlan::describe() const {
+  const std::string who =
+      (failed_ranks.size() == 1 ? "rank " : "ranks ") +
+      join_ranks(failed_ranks) + " failed";
+  const int total =
+      failures_before + static_cast<int>(failed_ranks.size());
+  if (action == RecoveryAction::kShrink) {
+    return "shrink " + std::to_string(old_world) + " -> " +
+           std::to_string(new_world) + " (" + who + "; cumulative failures " +
+           std::to_string(total) + ")";
+  }
+  return "fail fast (" + who + "; cumulative failures " +
+         std::to_string(total) + ")";
+}
+
+RecoveryPlan plan_recovery(const RankFailedError& error, int world_size,
+                           const ElasticPolicy& policy, int failures_so_far) {
+  RecoveryPlan plan;
+  plan.old_world = world_size;
+  plan.failures_before = failures_so_far;
+  for (const auto& failure : error.failures()) {
+    plan.failed_ranks.push_back(failure.rank);
+    plan.reasons.push_back(failure.what);
+  }
+  plan.new_world = world_size - static_cast<int>(plan.failed_ranks.size());
+  const int cumulative =
+      failures_so_far + static_cast<int>(plan.failed_ranks.size());
+  const bool within_budget = cumulative <= policy.max_rank_failures;
+  if (policy.enabled && within_budget && plan.new_world >= 1) {
+    plan.action = RecoveryAction::kShrink;
+  } else {
+    plan.action = RecoveryAction::kFailFast;
+  }
+  return plan;
+}
+
+void RecoveryObserver::on_failure(const RecoveryPlan& plan) {
+  if (sinks_.metrics != nullptr) {
+    sinks_.metrics->counter("comm.recovery.rank_failures")
+        .add(plan.failed_ranks.size());
+    if (plan.action == RecoveryAction::kFailFast) {
+      sinks_.metrics->counter("comm.recovery.failfast").add(1);
+    }
+  }
+}
+
+void RecoveryObserver::on_recovered(const RecoveryPlan& plan,
+                                    double rebuild_seconds,
+                                    int resume_epoch) {
+  if (sinks_.metrics != nullptr) {
+    sinks_.metrics->counter("comm.recovery.recoveries").add(1);
+    sinks_.metrics->gauge("comm.recovery.world_size")
+        .set(static_cast<double>(plan.new_world));
+    sinks_.metrics->histogram("comm.recovery.rebuild_seconds")
+        .record(rebuild_seconds);
+  }
+  if (sinks_.events != nullptr) {
+    util::JsonWriter json;
+    json.begin_object().kv("event", "recovery").key("failed_ranks");
+    json.begin_array();
+    for (int rank : plan.failed_ranks) json.value(rank);
+    json.end_array();
+    json.kv("old_world", plan.old_world)
+        .kv("new_world", plan.new_world)
+        .kv("resume_epoch", resume_epoch)
+        .kv("rebuild_seconds", rebuild_seconds)
+        .end_object();
+    sinks_.events->write_line(json.str());
+  }
+}
+
+}  // namespace dynkge::comm

@@ -1,0 +1,76 @@
+// Elastic recovery protocol: turn a rank death into a shrink-world plan.
+//
+// A permanent rank failure surfaces from Cluster::run as RankFailedError
+// (possibly carrying several simultaneous deaths — see fault.hpp). The
+// supervision loop in DistributedTrainer::train asks plan_recovery()
+// what to do with it: fail fast (rethrow, CLI exits 3) or shrink the
+// world to the survivors and replay the poisoned epoch from the last
+// in-run snapshot. The plan is pure bookkeeping — the actual rebuild
+// (new cluster at p-k ranks, shard/relation re-partition, state restore)
+// lives in the trainer, which owns the training state.
+//
+// RecoveryObserver funnels every recovery decision into the optional
+// telemetry sinks: comm.recovery.* metrics, a "recovery" JSONL event
+// record, and (from the trainer) a recovery.rebuild trace span.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "obs/telemetry.hpp"
+
+namespace dynkge::comm {
+
+/// How much failure a run is allowed to absorb. Default: none — a rank
+/// death aborts the run exactly as before elastic training existed.
+struct ElasticPolicy {
+  bool enabled = false;        ///< --elastic
+  int max_rank_failures = 0;   ///< --max-rank-failures: cumulative budget
+};
+
+enum class RecoveryAction {
+  kFailFast,  ///< rethrow; the run is unrecoverable under the policy
+  kShrink,    ///< rebuild at old_world - failed_ranks.size() and replay
+};
+
+/// One recovery decision, derived from a RankFailedError and the policy.
+struct RecoveryPlan {
+  RecoveryAction action = RecoveryAction::kFailFast;
+  std::vector<int> failed_ranks;     ///< ascending
+  std::vector<std::string> reasons;  ///< per-rank what(), same order
+  int old_world = 0;
+  int new_world = 0;          ///< old_world - failed_ranks.size()
+  int failures_before = 0;    ///< cumulative failures before this event
+
+  /// Human-readable one-liner, e.g.
+  /// "shrink 4 -> 2 (ranks 1,2 failed; budget 2/2)".
+  std::string describe() const;
+};
+
+/// Decide what to do about `error`, thrown out of a world of size
+/// `world_size`, given that `failures_so_far` ranks already died in this
+/// run. Shrinks iff the policy allows it, the cumulative failure count
+/// stays within max_rank_failures, and at least one rank survives.
+RecoveryPlan plan_recovery(const RankFailedError& error, int world_size,
+                           const ElasticPolicy& policy, int failures_so_far);
+
+/// Emits recovery observability into the (all-optional) telemetry sinks.
+class RecoveryObserver {
+ public:
+  explicit RecoveryObserver(const obs::TelemetrySinks& sinks)
+      : sinks_(sinks) {}
+
+  /// Called for every failure event, recoverable or not.
+  void on_failure(const RecoveryPlan& plan);
+
+  /// Called after a successful rebuild; `resume_epoch` is the epoch the
+  /// shrunk world replays from.
+  void on_recovered(const RecoveryPlan& plan, double rebuild_seconds,
+                    int resume_epoch);
+
+ private:
+  obs::TelemetrySinks sinks_;
+};
+
+}  // namespace dynkge::comm

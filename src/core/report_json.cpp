@@ -33,6 +33,9 @@ std::string report_to_json(const TrainReport& report,
   json.kv("evaluated", report.ranking.evaluated);
   json.end_object();
   json.kv("allreduce_fraction", report.allreduce_fraction);
+  json.kv("rank_failures", report.rank_failures);
+  json.kv("recoveries", report.recoveries);
+  json.kv("recovery_seconds", report.recovery_seconds);
 
   json.key("comm").begin_object();
   json.kv("total_bytes", report.comm_stats.total_bytes());

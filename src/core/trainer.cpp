@@ -7,9 +7,11 @@
 #include <cmath>
 #include <csignal>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
+#include "comm/recovery.hpp"
 #include "core/comm_selector.hpp"
 #include "core/grad_exchange.hpp"
 #include "core/grad_select.hpp"
@@ -178,11 +180,172 @@ DistributedTrainer::DistributedTrainer(const kge::Dataset& dataset,
     throw std::invalid_argument(
         "TrainConfig: require 1 <= negatives_used <= negatives_sampled");
   }
+  if (config_.fault_retry_limit < 1) {
+    throw std::invalid_argument(
+        "TrainConfig: fault retry limit must be >= 1 (--fault-retry-limit)");
+  }
+  if (config_.fault_backoff_base <= 0.0) {
+    throw std::invalid_argument(
+        "TrainConfig: fault backoff base must be > 0 (--fault-backoff-base)");
+  }
+  if (config_.elastic.max_rank_failures < 0) {
+    throw std::invalid_argument(
+        "TrainConfig: max rank failures must be >= 0 (--max-rank-failures)");
+  }
 }
 
 TrainReport DistributedTrainer::train() {
   const util::Stopwatch wall;
-  const int num_nodes = config_.num_nodes;
+  const obs::TelemetrySinks& tel = config_.telemetry;
+  comm::ElasticPolicy policy;
+  policy.enabled = config_.elastic.enabled;
+  policy.max_rank_failures = config_.elastic.max_rank_failures;
+
+  // ---- checkpoint / resume setup (host side, once per train()) ---------
+  const TrainConfig::CheckpointConfig& ckpt = config_.checkpoint;
+  std::unique_ptr<kge::TrainingSnapshot> resume_state;
+  if (!ckpt.dir.empty()) {
+    if (ckpt.every < 1) {
+      throw std::invalid_argument(
+          "TrainConfig::checkpoint: every must be >= 1");
+    }
+    ::mkdir(ckpt.dir.c_str(), 0755);  // EEXIST is fine
+    const std::string snapshot_file = ckpt.dir + "/snapshot.dkgs";
+    if (ckpt.resume && ::access(snapshot_file.c_str(), F_OK) == 0) {
+      resume_state = std::make_unique<kge::TrainingSnapshot>(
+          kge::load_snapshot(snapshot_file));
+      validate_resume_snapshot(*resume_state, config_.num_nodes);
+      DYNKGE_LOG_INFO("resuming from "
+                      << snapshot_file << " at epoch "
+                      << std::min(resume_state->trainer.next_epoch,
+                                  config_.max_epochs));
+    }
+  }
+
+  // The rank programs execute concurrently on a host thread pool — shared
+  // across train() calls when the config provides one, otherwise scoped to
+  // this call and sized by host_threads; one pool serves every attempt of
+  // the supervision loop below. Wall time scales with min(num_nodes,
+  // cores); the simulated clock is unaffected.
+  std::shared_ptr<util::ThreadPool> pool = config_.host_pool;
+  if (pool == nullptr) {
+    const std::size_t threads =
+        config_.host_threads > 0
+            ? static_cast<std::size_t>(config_.host_threads)
+            : util::ThreadPool::hardware_threads();
+    pool = std::make_shared<util::ThreadPool>(threads);
+  }
+
+  // ---- supervision loop ------------------------------------------------
+  // Each iteration is one cluster attempt. A permanent rank failure
+  // unwinds here as RankFailedError; within the elastic budget the world
+  // shrinks to the survivors, state rolls back to the newest in-run
+  // snapshot (per-epoch, in memory — no checkpoint dir needed), and the
+  // poisoned epoch is replayed at the smaller world size. The replay is
+  // byte-identical to a fresh run at the new world size resumed from the
+  // same snapshot: every restored quantity is keyed on the new rank index
+  // and the poisoned epoch's partial work is discarded entirely.
+  comm::RecoveryObserver observer(tel);
+  int world = config_.num_nodes;
+  int rank_failures = 0;
+  int recoveries = 0;
+  double recovery_seconds = 0.0;
+  for (;;) {
+    std::string live_snapshot;
+    try {
+      TrainReport report =
+          run_attempt(world, resume_state.get(), *pool,
+                      policy.enabled ? &live_snapshot : nullptr);
+      report.rank_failures = rank_failures;
+      report.recoveries = recoveries;
+      report.recovery_seconds = recovery_seconds;
+      report.wall_seconds = wall.seconds();
+      return report;
+    } catch (const comm::RankFailedError& error) {
+      const comm::RecoveryPlan plan =
+          comm::plan_recovery(error, world, policy, rank_failures);
+      observer.on_failure(plan);
+      if (plan.action == comm::RecoveryAction::kFailFast) {
+        DYNKGE_LOG_ERROR("unrecoverable rank failure: " << plan.describe());
+        throw;
+      }
+      DYNKGE_LOG_WARN("recovering from rank failure: " << plan.describe());
+      const util::Stopwatch rebuild;
+      {
+        const obs::TraceSpan span(tel.trace, "recovery.rebuild",
+                                  config_.num_nodes);
+        // Roll back to the newest epoch snapshot this attempt produced;
+        // if the crash predated the first one, fall back to the attempt's
+        // own starting state (disk snapshot or cold start).
+        if (!live_snapshot.empty()) {
+          resume_state = std::make_unique<kge::TrainingSnapshot>(
+              kge::deserialize_snapshot(live_snapshot,
+                                        "elastic recovery snapshot"));
+        }
+        rank_failures += static_cast<int>(plan.failed_ranks.size());
+        recoveries += 1;
+        world = plan.new_world;
+        if (config_.elastic.test_kill_in_recovery >= 1 &&
+            recoveries == config_.elastic.test_kill_in_recovery) {
+          // Harness hook: the host dies mid-rebuild; --resume must then
+          // recover from the last disk snapshot (tests/kill_restart.py).
+          ::raise(SIGKILL);
+        }
+      }
+      recovery_seconds += rebuild.seconds();
+      const int resume_epoch =
+          resume_state != nullptr ? resume_state->trainer.next_epoch : 0;
+      observer.on_recovered(plan, rebuild.seconds(), resume_epoch);
+      DYNKGE_LOG_INFO("recovered: replaying epoch "
+                      << resume_epoch << " at world size " << world);
+    }
+  }
+}
+
+void DistributedTrainer::validate_resume_snapshot(
+    const kge::TrainingSnapshot& snapshot, int world_size) const {
+  const kge::TrainerSnapshot& t = snapshot.trainer;
+  check_resume_field("model", config_.model_name, t.model_name);
+  check_resume_field("strategy", config_.strategy.label(), t.strategy_label);
+  check_resume_field("embedding_rank",
+                     std::to_string(config_.embedding_rank),
+                     std::to_string(t.embedding_rank));
+  // World size must match exactly — except in elastic mode, where a
+  // snapshot from a *larger* world is resumable by a shrunk one
+  // (shrink-resume: restored state is keyed on the new, smaller rank
+  // indices; see DESIGN.md section 8).
+  if (!(config_.elastic.enabled && t.num_nodes > world_size)) {
+    check_resume_field("num_nodes", std::to_string(world_size),
+                       std::to_string(t.num_nodes));
+  }
+  check_resume_field("seed", std::to_string(config_.seed),
+                     std::to_string(t.seed));
+  check_resume_field("num_entities", std::to_string(dataset_.num_entities()),
+                     std::to_string(snapshot.model->entities().rows()));
+  check_resume_field("num_relations",
+                     std::to_string(dataset_.num_relations()),
+                     std::to_string(snapshot.model->relations().rows()));
+  // The per-rank RNG streams are re-derived, not stored; the stored seeds
+  // exist to verify the derivation contract still holds. Under
+  // shrink-resume only the surviving rank indices matter.
+  const int verify_ranks = std::min(world_size, t.num_nodes);
+  for (int r = 0; r < verify_ranks; ++r) {
+    const std::uint64_t expected =
+        util::derive_seed(config_.seed, r, t.next_epoch, 0xE0u);
+    if (snapshot.rank_rng_seeds[static_cast<std::size_t>(r)] != expected) {
+      throw std::invalid_argument(
+          "TrainConfig::checkpoint.resume: snapshot RNG stream for rank " +
+          std::to_string(r) +
+          " does not match this build's seed derivation");
+    }
+  }
+}
+
+TrainReport DistributedTrainer::run_attempt(int world_size,
+                                            const kge::TrainingSnapshot* resume,
+                                            util::ThreadPool& pool,
+                                            std::string* live_snapshot) {
+  const int num_nodes = world_size;
   const StrategyConfig& strategy = config_.strategy;
   const obs::TelemetrySinks& tel = config_.telemetry;
 
@@ -219,81 +382,31 @@ TrainReport DistributedTrainer::train() {
       std::max<std::size_t>(1, (max_shard + config_.batch_size - 1) /
                                    config_.batch_size);
 
-  // ---- checkpoint / resume setup (host side) --------------------------
+  // ---- checkpoint bookkeeping -----------------------------------------
+  // Validation, mkdir, and the disk load all happened in train(); `resume`
+  // arrives pre-validated (or null for a cold start).
   const TrainConfig::CheckpointConfig& ckpt = config_.checkpoint;
   const bool checkpoint_enabled = !ckpt.dir.empty();
-  std::string snapshot_file;
-  std::optional<kge::TrainingSnapshot> resume_state;
-  int start_epoch = 0;
-  if (checkpoint_enabled) {
-    if (ckpt.every < 1) {
-      throw std::invalid_argument(
-          "TrainConfig::checkpoint: every must be >= 1");
-    }
-    ::mkdir(ckpt.dir.c_str(), 0755);  // EEXIST is fine
-    snapshot_file = ckpt.dir + "/snapshot.dkgs";
-    if (ckpt.resume && ::access(snapshot_file.c_str(), F_OK) == 0) {
-      resume_state.emplace(kge::load_snapshot(snapshot_file));
-      const kge::TrainerSnapshot& t = resume_state->trainer;
-      check_resume_field("model", config_.model_name, t.model_name);
-      check_resume_field("strategy", strategy.label(), t.strategy_label);
-      check_resume_field("embedding_rank",
-                         std::to_string(config_.embedding_rank),
-                         std::to_string(t.embedding_rank));
-      check_resume_field("num_nodes", std::to_string(num_nodes),
-                         std::to_string(t.num_nodes));
-      check_resume_field("seed", std::to_string(config_.seed),
-                         std::to_string(t.seed));
-      check_resume_field(
-          "num_entities", std::to_string(dataset_.num_entities()),
-          std::to_string(resume_state->model->entities().rows()));
-      check_resume_field(
-          "num_relations", std::to_string(dataset_.num_relations()),
-          std::to_string(resume_state->model->relations().rows()));
-      // The per-rank RNG streams are re-derived, not stored; the stored
-      // seeds exist to verify the derivation contract still holds.
-      for (int r = 0; r < num_nodes; ++r) {
-        const std::uint64_t expected =
-            util::derive_seed(config_.seed, r, t.next_epoch, 0xE0u);
-        if (resume_state->rank_rng_seeds[r] != expected) {
-          throw std::invalid_argument(
-              "TrainConfig::checkpoint.resume: snapshot RNG stream for rank " +
-              std::to_string(r) +
-              " does not match this build's seed derivation");
-        }
-      }
-      start_epoch = std::min(t.next_epoch, config_.max_epochs);
-      DYNKGE_LOG_INFO("resuming from " << snapshot_file << " at epoch "
-                                       << start_epoch);
-    }
-  }
+  const std::string snapshot_file =
+      checkpoint_enabled ? ckpt.dir + "/snapshot.dkgs" : std::string();
+  const int start_epoch =
+      resume != nullptr ? std::min(resume->trainer.next_epoch,
+                                   config_.max_epochs)
+                        : 0;
 
   TrainReport report;
   report.strategy_label = strategy.label();
   report.model_name = config_.model_name;
   report.num_nodes = num_nodes;
   report.start_epoch = start_epoch;
-  if (resume_state.has_value()) {
+  if (resume != nullptr) {
     report.epochs = start_epoch;
-    report.total_sim_seconds = resume_state->trainer.total_sim_seconds;
-    report.final_val_accuracy = resume_state->trainer.final_val_accuracy;
-    report.converged = resume_state->scheduler.stopped;
+    report.total_sim_seconds = resume->trainer.total_sim_seconds;
+    report.final_val_accuracy = resume->trainer.final_val_accuracy;
+    report.converged = resume->scheduler.stopped;
     if (tel.metrics != nullptr) tel.metrics->counter("train.resumes").add(1);
   }
-
-  // The rank programs execute concurrently on a host thread pool — shared
-  // across train() calls when the config provides one, otherwise scoped to
-  // this call and sized by host_threads. Wall time scales with
-  // min(num_nodes, cores); the simulated clock is unaffected.
-  std::shared_ptr<util::ThreadPool> pool = config_.host_pool;
-  if (pool == nullptr) {
-    const std::size_t threads =
-        config_.host_threads > 0
-            ? static_cast<std::size_t>(config_.host_threads)
-            : util::ThreadPool::hardware_threads();
-    pool = std::make_shared<util::ThreadPool>(threads);
-  }
-  report.host_threads = static_cast<int>(pool->size());
+  report.host_threads = static_cast<int>(pool.size());
 
   comm::Cluster cluster(num_nodes, config_.network);
   if (config_.fault_injector != nullptr) {
@@ -362,8 +475,8 @@ TrainReport DistributedTrainer::train() {
                                    strategy.selection_residual);
 
     // ---- resume: restore every piece of state a fresh run would have ---
-    if (resume_state.has_value()) {
-      const kge::TrainingSnapshot& snap = *resume_state;
+    if (resume != nullptr) {
+      const kge::TrainingSnapshot& snap = *resume;
       std::copy(snap.model->entities().flat().begin(),
                 snap.model->entities().flat().end(),
                 model->entities().flat().begin());
@@ -397,8 +510,7 @@ TrainReport DistributedTrainer::train() {
     }
     // Snapshots written by earlier runs count toward the persistent total.
     int checkpoints_total =
-        resume_state.has_value() ? resume_state->trainer.checkpoints_written
-                                 : 0;
+        resume != nullptr ? resume->trainer.checkpoints_written : 0;
 
     // Registry instruments are resolved once per rank (find-or-create
     // takes a mutex); recording through the cached pointers is a relaxed
@@ -419,6 +531,9 @@ TrainReport DistributedTrainer::train() {
     }
 
     for (int epoch = start_epoch; epoch < config_.max_epochs; ++epoch) {
+      // Epoch-scoped fault addressing (kind@RANK@eEPOCH): tells the
+      // injector which epoch this rank's upcoming collectives belong to.
+      comm.set_fault_epoch(epoch);
       // A snapshot taken at the plateau stop restores as already-stopped;
       // running even one more epoch would diverge from the uninterrupted
       // run.
@@ -719,10 +834,16 @@ TrainReport DistributedTrainer::train() {
       // All collectives here are charge-free and the clocks are already
       // aligned by the epoch-accounting allreduces above, so writing (or
       // not writing) snapshots leaves the simulated timeline — and hence
-      // the DRS decisions and final embeddings — bit-identical.
-      if (checkpoint_enabled &&
+      // the DRS decisions and final embeddings — bit-identical. In elastic
+      // mode a snapshot is built after *every* epoch; the sealed bytes go
+      // to the host-side live buffer (rank 0 is the sole writer, and the
+      // cohort join orders that write before the supervisor reads it).
+      const bool live_due = live_snapshot != nullptr;
+      const bool disk_due =
+          checkpoint_enabled &&
           ((epoch + 1) % ckpt.every == 0 ||
-           epoch + 1 == config_.max_epochs || scheduler.should_stop())) {
+           epoch + 1 == config_.max_epochs || scheduler.should_stop());
+      if (disk_due || live_due) {
         const obs::TraceSpan ckpt_span(tel.trace, "checkpoint.write", rank);
 
         // Residual maps are rank-private; gather every rank's blob.
@@ -766,7 +887,7 @@ TrainReport DistributedTrainer::train() {
           }
         }
 
-        ++checkpoints_total;
+        if (disk_due) ++checkpoints_total;
         if (rank == 0) {
           kge::TrainingSnapshot snap;
           snap.model = clone_model(*model, config_.model_name,
@@ -826,20 +947,39 @@ TrainReport DistributedTrainer::train() {
             blob_offset += blob_counts[r];
           }
 
-          kge::SnapshotWriteOptions write_options;
-          if (epoch == ckpt.test_kill_at_epoch) {
-            write_options.test_kill_after_bytes = ckpt.test_kill_mid_write;
+          const std::string sealed = kge::serialize_snapshot(snap);
+          if (live_due) *live_snapshot = sealed;
+          if (disk_due) {
+            kge::SnapshotWriteOptions write_options;
+            if (epoch == ckpt.test_kill_at_epoch) {
+              write_options.test_kill_after_bytes = ckpt.test_kill_mid_write;
+            }
+            kge::write_snapshot_bytes(sealed, snapshot_file, write_options);
+            report.checkpoints_written += 1;
+            if (tel.metrics != nullptr) {
+              tel.metrics->counter("train.checkpoints_written").add(1);
+            }
+            if (epoch == ckpt.test_kill_at_epoch) {
+              // Harness hook: die *after* the snapshot is durable (the
+              // mid-write variant never reaches this point).
+              ::raise(SIGKILL);
+            }
           }
-          kge::save_snapshot(snap, snapshot_file, write_options);
-          report.checkpoints_written += 1;
-          if (tel.metrics != nullptr) {
-            tel.metrics->counter("train.checkpoints_written").add(1);
-          }
-          if (epoch == ckpt.test_kill_at_epoch) {
-            // Harness hook: die *after* the snapshot is durable (the
-            // mid-write variant never reaches this point).
-            ::raise(SIGKILL);
-          }
+        }
+        if (live_due) {
+          // Publication barrier: without it a sibling could crash in epoch
+          // e+1 and abort rank 0 while it is still sealing epoch e's
+          // snapshot, making the state recovery rolls back to depend on
+          // host thread timing. Charge-free, so the simulated timeline is
+          // untouched; only the collective count differs from a
+          // non-elastic run (relevant solely to index-addressed fault
+          // specs — epoch addressing is unaffected).
+          std::vector<std::byte> sync;
+          std::vector<std::size_t> sync_counts;
+          const char token = 0;
+          comm.allgatherv_bytes(
+              std::as_bytes(std::span<const char>(&token, 1)), sync,
+              sync_counts, /*charge_cost=*/false);
         }
       }
 
@@ -848,6 +988,7 @@ TrainReport DistributedTrainer::train() {
         break;
       }
     }
+    comm.set_fault_epoch(-1);
 
     // ---- verify the replica-consistency invariant ----------------------
     {
@@ -909,9 +1050,8 @@ TrainReport DistributedTrainer::train() {
       }
       report.model = std::move(model);
     }
-  }, *pool);
+  }, pool);
 
-  report.wall_seconds = wall.seconds();
   return report;
 }
 

@@ -41,6 +41,10 @@
 #include "obs/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
+namespace dynkge::kge {
+struct TrainingSnapshot;  // kge/serialize.hpp
+}  // namespace dynkge::kge
+
 namespace dynkge::core {
 
 struct TrainConfig {
@@ -97,8 +101,31 @@ struct TrainConfig {
 
   /// Optional fault injection (non-owning): forwarded to the simulated
   /// cluster so every collective consults it. See comm/fault.hpp. An
-  /// injected rank crash surfaces as comm::RankFailedError from train().
+  /// injected rank crash surfaces as comm::RankFailedError from train()
+  /// unless elastic recovery (below) absorbs it.
   comm::FaultInjector* fault_injector = nullptr;
+
+  /// Transient-retry policy knobs mirrored from the CLI's FaultInjector
+  /// (--fault-retry-limit / --fault-backoff-base). Validated here so a bad
+  /// flag is reported with its name; the injector consumes the same values
+  /// through its RetryPolicy.
+  int fault_retry_limit = 4;
+  double fault_backoff_base = 1e-3;
+
+  /// Elastic training: survive permanent rank crashes by shrinking the
+  /// world to the survivors and replaying the poisoned epoch from the last
+  /// in-run snapshot (kept in memory; no checkpoint dir required). See
+  /// comm/recovery.hpp and DESIGN.md section 8.
+  struct ElasticConfig {
+    bool enabled = false;       ///< --elastic
+    int max_rank_failures = 0;  ///< --max-rank-failures: cumulative budget
+                                ///< across the whole run; exceeding it
+                                ///< fails fast (RankFailedError)
+    /// Test hook for the kill/restart harness: raise SIGKILL in the middle
+    /// of the N-th recovery rebuild (1-based). <= 0 = disabled.
+    int test_kill_in_recovery = -1;
+  };
+  ElasticConfig elastic;
 
   /// Optional warm start: every replica copies this model's parameters
   /// instead of random-initializing (shapes must match the dataset and
@@ -179,6 +206,13 @@ struct TrainReport {
   double allreduce_fraction = 0.0;
   double wall_seconds = 0.0;       ///< host wall time (diagnostic only)
 
+  /// Elastic recovery accounting (see TrainConfig::elastic): ranks lost,
+  /// successful shrink-world recoveries, and host wall seconds spent in
+  /// recovery rebuilds. All zero for a fault-free or fail-fast run.
+  int rank_failures = 0;
+  int recoveries = 0;
+  double recovery_seconds = 0.0;
+
   /// Verified at the end of training: every rank holds bit-identical
   /// entity embeddings (and, without relation partition, relation
   /// embeddings). Synchronous data-parallel training guarantees this; a
@@ -198,12 +232,33 @@ class DistributedTrainer {
  public:
   DistributedTrainer(const kge::Dataset& dataset, TrainConfig config);
 
-  /// Run the full training job on a fresh simulated cluster.
+  /// Run the full training job on a fresh simulated cluster. With
+  /// TrainConfig::elastic enabled this is a supervision loop: a permanent
+  /// rank failure shrinks the world to the survivors, restores state from
+  /// the last in-run snapshot, and replays the poisoned epoch — the
+  /// post-recovery run is byte-identical to a fresh run at the smaller
+  /// world size resumed from the same snapshot. Failures beyond the
+  /// elastic budget rethrow comm::RankFailedError.
   TrainReport train();
 
   const TrainConfig& config() const { return config_; }
 
  private:
+  /// One cluster attempt at `world_size` ranks. `resume` (may be null)
+  /// is the snapshot state to continue from; `live_snapshot` (may be
+  /// null) receives the sealed DKGS bytes of the newest per-epoch
+  /// snapshot, kept for elastic recovery.
+  TrainReport run_attempt(int world_size, const kge::TrainingSnapshot* resume,
+                          util::ThreadPool& pool,
+                          std::string* live_snapshot);
+
+  /// Validate that a loaded snapshot belongs to this run (model, strategy,
+  /// seed, shapes, RNG derivation). `world_size` is the world it will be
+  /// resumed at — a larger snapshot world is accepted only in elastic mode
+  /// (shrink-resume).
+  void validate_resume_snapshot(const kge::TrainingSnapshot& snapshot,
+                                int world_size) const;
+
   const kge::Dataset& dataset_;
   TrainConfig config_;
 };

@@ -287,22 +287,16 @@ void write_file_atomic(const std::string& path, const std::string& bytes,
   }
 }
 
-/// Read the whole file; verify magic, version, and the trailing FNV-1a
-/// checksum before returning the payload (the bytes between the version
-/// and the hash). All failure messages carry `what` + path + the expected
-/// vs. found values.
-std::string read_verified_payload(const std::string& path,
-                                  const std::string& what,
-                                  const char expected_magic[4],
-                                  std::uint32_t expected_version) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error(what + ": cannot open " + path);
-  }
-  std::ostringstream content;
-  content << in.rdbuf();
-  std::string data = std::move(content).str();
-
+/// Verify magic, version, and the trailing FNV-1a checksum of a sealed
+/// byte stream and return the payload (the bytes between the version and
+/// the hash). `source` names the origin (file path or in-memory buffer)
+/// in failure messages, which carry `what` + source + the expected vs.
+/// found values.
+std::string verify_payload(std::string_view data, const std::string& what,
+                           const std::string& source,
+                           const char expected_magic[4],
+                           std::uint32_t expected_version) {
+  const std::string& path = source;  // keeps the message wording below
   const std::size_t header = sizeof(kModelMagic) + sizeof(std::uint32_t);
   if (data.size() < header + sizeof(std::uint64_t)) {
     throw std::runtime_error(what + ": " + path + ": truncated file (" +
@@ -336,7 +330,28 @@ std::string read_verified_payload(const std::string& path,
         "version " +
         std::to_string(version) + ")");
   }
-  return data.substr(header, data.size() - header - sizeof(stored_hash));
+  return std::string(
+      data.substr(header, data.size() - header - sizeof(stored_hash)));
+}
+
+/// Slurp `path` (binary); failure messages carry `what`.
+std::string read_file(const std::string& path, const std::string& what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(what + ": cannot open " + path);
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  return std::move(content).str();
+}
+
+/// read_file + verify_payload in one step, for the file-based loaders.
+std::string read_verified_payload(const std::string& path,
+                                  const std::string& what,
+                                  const char expected_magic[4],
+                                  std::uint32_t expected_version) {
+  return verify_payload(read_file(path, what), what, path, expected_magic,
+                        expected_version);
 }
 
 /// Assemble magic + version + payload + trailing hash.
@@ -393,8 +408,7 @@ std::unique_ptr<KgeModel> load_model(const std::string& path) {
   return model;
 }
 
-void save_snapshot(const TrainingSnapshot& snapshot, const std::string& path,
-                   const SnapshotWriteOptions& options) {
+std::string serialize_snapshot(const TrainingSnapshot& snapshot) {
   if (snapshot.model == nullptr) {
     throw std::runtime_error("save_snapshot: snapshot has no model");
   }
@@ -474,14 +488,24 @@ void save_snapshot(const TrainingSnapshot& snapshot, const std::string& path,
     payload.pod(static_cast<std::uint64_t>(sections[i].size()));
     payload.bytes(sections[i].data(), sections[i].size());
   }
-  write_file_atomic(path,
-                    seal(kSnapshotMagic, kSnapshotVersion, payload.buffer()),
-                    options.test_kill_after_bytes);
+  return seal(kSnapshotMagic, kSnapshotVersion, payload.buffer());
 }
 
-TrainingSnapshot load_snapshot(const std::string& path) {
-  const std::string payload = read_verified_payload(
-      path, "load_snapshot", kSnapshotMagic, kSnapshotVersion);
+void write_snapshot_bytes(const std::string& sealed, const std::string& path,
+                          const SnapshotWriteOptions& options) {
+  write_file_atomic(path, sealed, options.test_kill_after_bytes);
+}
+
+void save_snapshot(const TrainingSnapshot& snapshot, const std::string& path,
+                   const SnapshotWriteOptions& options) {
+  write_snapshot_bytes(serialize_snapshot(snapshot), path, options);
+}
+
+TrainingSnapshot deserialize_snapshot(std::string_view bytes,
+                                      const std::string& source) {
+  const std::string path = source;  // keeps the message wording below
+  const std::string payload = verify_payload(
+      bytes, "load_snapshot", source, kSnapshotMagic, kSnapshotVersion);
 
   // Split the payload into the 8 tagged sections.
   std::string_view sections[8];
@@ -603,6 +627,10 @@ TrainingSnapshot load_snapshot(const std::string& path) {
         std::to_string(snapshot.trainer.num_nodes) + ")");
   }
   return snapshot;
+}
+
+TrainingSnapshot load_snapshot(const std::string& path) {
+  return deserialize_snapshot(read_file(path, "load_snapshot"), path);
 }
 
 }  // namespace dynkge::kge

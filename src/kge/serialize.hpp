@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "kge/embedding.hpp"
@@ -132,5 +133,24 @@ void save_snapshot(const TrainingSnapshot& snapshot, const std::string& path,
 /// the file, section, and expected vs. found version) on any corruption:
 /// truncation, bit flips, bad magic, wrong version, or checksum mismatch.
 TrainingSnapshot load_snapshot(const std::string& path);
+
+/// Serialize a snapshot to the exact sealed DKGS byte stream save_snapshot
+/// writes (magic + version + sections + checksum), without touching disk.
+/// Elastic recovery keeps one of these per epoch in memory so a rank
+/// failure can be recovered without a --checkpoint-dir.
+std::string serialize_snapshot(const TrainingSnapshot& snapshot);
+
+/// Parse a sealed DKGS byte stream (the inverse of serialize_snapshot,
+/// and exactly what load_snapshot does after reading the file). `source`
+/// names the origin in error messages — a file path or e.g. "elastic
+/// recovery snapshot".
+TrainingSnapshot deserialize_snapshot(std::string_view bytes,
+                                      const std::string& source);
+
+/// Atomically write already-sealed snapshot bytes (from
+/// serialize_snapshot) to `path` — lets a caller serialize once and both
+/// keep the buffer and persist it.
+void write_snapshot_bytes(const std::string& sealed, const std::string& path,
+                          const SnapshotWriteOptions& options = {});
 
 }  // namespace dynkge::kge

@@ -14,7 +14,10 @@ gradient-exchange strategy:
   5. a run with injected transient + straggler faults, which must retry,
      finish, and still match the reference byte for byte,
   6. a run with an injected rank crash, which must exit with the CLI's
-     RankFailedError status (3) instead of hanging.
+     RankFailedError status (3) instead of hanging,
+  7. an elastic run SIGKILLed *during* the recovery rebuild itself — a
+     plain --resume restart must recover again and still end
+     byte-identical to an uninterrupted elastic run.
 
 Usage: kill_restart.py <dynkge-binary> <data-dir> <work-dir> <strategy>
 """
@@ -116,6 +119,35 @@ def main():
 
     # 6. A rank crash must surface as a clean failure, not a hang.
     run(base + ["--fault-spec", "crash@1@40"], expect=RANK_FAILED_EXIT)
+
+    # 7. Elastic recovery is itself restartable. Reference: rank 1 dies at
+    # epoch 2, the run shrinks to one node and finishes clean.
+    elastic = ["--elastic", "--max-rank-failures", "1",
+               "--fault-spec", "crash@1@e2"]
+    elastic_ref = work / "elastic_ref.dkge"
+    out = run(base + elastic + ["--save-model", elastic_ref])
+    if "1 recoveries" not in out:
+        sys.exit("FAIL: elastic reference run reported no recovery")
+
+    # SIGKILL in the middle of the recovery rebuild (after the shrink is
+    # decided, before the replay starts) ...
+    ckpt3 = work / "ckpt_elastic"
+    run(base + elastic + ["--checkpoint-dir", ckpt3,
+                          "--kill-in-recovery", "1"],
+        expect=SIGKILL_CODES)
+    if not (ckpt3 / "snapshot.dkgs").exists():
+        sys.exit("FAIL: elastic kill run left no snapshot behind")
+
+    # ... then a plain --resume restart rolls back to the same snapshot,
+    # eats the same crash again, recovers again, and must match the
+    # uninterrupted elastic run byte for byte.
+    elastic_resumed = work / "elastic_resumed.dkge"
+    out = run(base + elastic + ["--checkpoint-dir", ckpt3, "--resume",
+                                "--save-model", elastic_resumed])
+    if "1 recoveries" not in out:
+        sys.exit("FAIL: restarted elastic run reported no recovery")
+    expect_same_bytes(elastic_ref, elastic_resumed,
+                      f"{strategy} kill-in-recovery restart")
 
     print(f"PASS: kill/restart contract holds for strategy {strategy}")
 

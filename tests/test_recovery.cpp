@@ -1,0 +1,211 @@
+// Elastic recovery protocol, below the trainer: plan_recovery policy
+// decisions, multi-failure aggregation through Cluster::run, epoch-scoped
+// fault addressing, and the injector's one-shot guarantee that makes
+// shrink-world replay safe.
+#include "comm/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/fault.hpp"
+
+namespace dynkge::comm {
+namespace {
+
+RankFailedError one_failure(int rank) {
+  return RankFailedError(rank, "injected fault: rank crash");
+}
+
+TEST(PlanRecovery, DefaultPolicyFailsFast) {
+  const RecoveryPlan plan =
+      plan_recovery(one_failure(1), /*world_size=*/4, ElasticPolicy{},
+                    /*failures_so_far=*/0);
+  EXPECT_EQ(plan.action, RecoveryAction::kFailFast);
+  EXPECT_EQ(plan.failed_ranks, std::vector<int>{1});
+  EXPECT_EQ(plan.old_world, 4);
+}
+
+TEST(PlanRecovery, ShrinksWithinBudget) {
+  ElasticPolicy policy{/*enabled=*/true, /*max_rank_failures=*/2};
+  const RecoveryPlan plan =
+      plan_recovery(one_failure(2), 4, policy, /*failures_so_far=*/1);
+  EXPECT_EQ(plan.action, RecoveryAction::kShrink);
+  EXPECT_EQ(plan.new_world, 3);
+  EXPECT_EQ(plan.failures_before, 1);
+  EXPECT_NE(plan.describe().find("shrink 4 -> 3"), std::string::npos);
+}
+
+TEST(PlanRecovery, CumulativeBudgetExhaustionFailsFast) {
+  ElasticPolicy policy{/*enabled=*/true, /*max_rank_failures=*/1};
+  EXPECT_EQ(plan_recovery(one_failure(0), 4, policy, 0).action,
+            RecoveryAction::kShrink);
+  // The second death exceeds the cumulative budget even though each event
+  // alone would fit.
+  EXPECT_EQ(plan_recovery(one_failure(0), 3, policy, 1).action,
+            RecoveryAction::kFailFast);
+}
+
+TEST(PlanRecovery, SimultaneousDeathsCountAgainstBudgetTogether) {
+  const RankFailedError error(std::vector<RankFailedError::Failure>{
+      {2, "crash"}, {1, "crash"}});
+  ElasticPolicy one{/*enabled=*/true, /*max_rank_failures=*/1};
+  EXPECT_EQ(plan_recovery(error, 4, one, 0).action,
+            RecoveryAction::kFailFast);
+  ElasticPolicy two{/*enabled=*/true, /*max_rank_failures=*/2};
+  const RecoveryPlan plan = plan_recovery(error, 4, two, 0);
+  EXPECT_EQ(plan.action, RecoveryAction::kShrink);
+  EXPECT_EQ(plan.new_world, 2);
+  EXPECT_EQ(plan.failed_ranks, (std::vector<int>{1, 2}));
+}
+
+TEST(PlanRecovery, NeverShrinksToZeroRanks) {
+  ElasticPolicy policy{/*enabled=*/true, /*max_rank_failures=*/8};
+  EXPECT_EQ(plan_recovery(one_failure(0), 1, policy, 0).action,
+            RecoveryAction::kFailFast);
+}
+
+TEST(RankFailedErrorTest, SingleFailureKeepsLegacyMessageShape) {
+  const RankFailedError error(3, "injected fault: rank crash");
+  EXPECT_EQ(error.rank(), 3);
+  EXPECT_EQ(std::string(error.what()),
+            "rank 3 failed: injected fault: rank crash");
+  ASSERT_EQ(error.failures().size(), 1u);
+  EXPECT_EQ(error.ranks(), std::vector<int>{3});
+}
+
+TEST(RankFailedErrorTest, MultiFailureSortsAndListsEveryRank) {
+  const RankFailedError error(std::vector<RankFailedError::Failure>{
+      {2, "crash at epoch 1"}, {0, "crash at epoch 1"}});
+  EXPECT_EQ(error.ranks(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(error.rank(), 0);  // lowest rank first
+  const std::string what = error.what();
+  EXPECT_NE(what.find("ranks 0,2 failed"), std::string::npos);
+  EXPECT_NE(what.find("[rank 0]"), std::string::npos);
+  EXPECT_NE(what.find("[rank 2]"), std::string::npos);
+}
+
+/// A rank program of `steps` allreduces, reporting its epoch to the
+/// injector as step / 10 (so epoch-scoped events have something to bind
+/// to).
+double epoch_loop(Communicator& comm, int steps) {
+  double value = static_cast<double>(comm.rank() + 1);
+  for (int step = 0; step < steps; ++step) {
+    comm.set_fault_epoch(step / 10);
+    value = comm.allreduce_scalar(value, ScalarOp::kSum) /
+            static_cast<double>(comm.size());
+  }
+  comm.set_fault_epoch(-1);
+  return value;
+}
+
+TEST(MultiFailure, SimultaneousCrashesAggregateThroughClusterRun) {
+  FaultInjector injector(
+      {FaultEvent{FaultKind::kRankCrash, /*rank=*/1, /*collective_index=*/9},
+       FaultEvent{FaultKind::kRankCrash, /*rank=*/3,
+                  /*collective_index=*/9}});
+  Cluster cluster(4);
+  cluster.set_fault_injector(&injector);
+  try {
+    cluster.run([&](Communicator& comm) { epoch_loop(comm, 40); });
+    FAIL() << "crashes did not propagate";
+  } catch (const RankFailedError& error) {
+    EXPECT_EQ(error.ranks(), (std::vector<int>{1, 3}));
+    ASSERT_EQ(error.failures().size(), 2u);
+  }
+  EXPECT_EQ(injector.counters().crashes, 2u);
+}
+
+TEST(EpochScopedFaults, ParseSpecAcceptsEpochAddresses) {
+  const auto events = FaultInjector::parse_spec("crash@1@e2,transient@0@7@2");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, FaultKind::kRankCrash);
+  EXPECT_EQ(events[0].rank, 1);
+  EXPECT_EQ(events[0].epoch, 2);
+  EXPECT_EQ(events[1].epoch, -1);  // index-addressed stays index-addressed
+  EXPECT_EQ(events[1].collective_index, 7u);
+  EXPECT_THROW(FaultInjector::parse_spec("crash@1@e"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse_spec("crash@1@e-2"),
+               std::invalid_argument);
+}
+
+TEST(EpochScopedFaults, FireOnFirstCollectiveOfTheEpoch) {
+  FaultEvent event;
+  event.kind = FaultKind::kRankCrash;
+  event.rank = 1;
+  event.epoch = 2;
+  FaultInjector injector({event});
+  Cluster cluster(2);
+  cluster.set_fault_injector(&injector);
+  // epoch_loop maps step -> epoch as step / 10, so epoch 2 starts at the
+  // rank's 20th collective.
+  try {
+    cluster.run([&](Communicator& comm) { epoch_loop(comm, 40); });
+    FAIL() << "epoch-scoped crash did not propagate";
+  } catch (const RankFailedError& error) {
+    EXPECT_EQ(error.rank(), 1);
+    EXPECT_NE(std::string(error.what()).find("epoch 2"), std::string::npos);
+  }
+  EXPECT_EQ(injector.counters().crashes, 1u);
+}
+
+TEST(EpochScopedFaults, NeverFireOutsideAnEpoch) {
+  FaultEvent event;
+  event.kind = FaultKind::kRankCrash;
+  event.rank = 0;
+  event.epoch = 0;
+  FaultInjector injector({event});
+  Cluster cluster(2);
+  cluster.set_fault_injector(&injector);
+  // fault_epoch stays at its -1 default: the epoch-scoped event has no
+  // epoch to bind to and the run completes.
+  cluster.run([&](Communicator& comm) {
+    double value = 1.0;
+    for (int step = 0; step < 10; ++step) {
+      value = comm.allreduce_scalar(value, ScalarOp::kSum);
+    }
+  });
+  EXPECT_EQ(injector.counters().crashes, 0u);
+}
+
+TEST(OneShotEvents, ConsumedCrashDoesNotKillTheInheritingRank) {
+  FaultEvent event;
+  event.kind = FaultKind::kRankCrash;
+  event.rank = 1;
+  event.epoch = 1;
+  FaultInjector injector({event});
+  {
+    Cluster cluster(3);
+    cluster.set_fault_injector(&injector);
+    EXPECT_THROW(
+        cluster.run([&](Communicator& comm) { epoch_loop(comm, 40); }),
+        RankFailedError);
+  }
+  // The shrunk world re-runs the same epochs with the same injector. A
+  // surviving rank now holds rank id 1 and replays epoch 1's collectives,
+  // but the consumed event must not fire again.
+  {
+    Cluster cluster(2);
+    cluster.set_fault_injector(&injector);
+    cluster.run([&](Communicator& comm) { epoch_loop(comm, 40); });
+  }
+  EXPECT_EQ(injector.counters().crashes, 1u);
+}
+
+TEST(OneShotEvents, IndexAddressedEventsAreOneShotToo) {
+  FaultInjector injector({FaultEvent{FaultKind::kStraggler, /*rank=*/0,
+                                     /*collective_index=*/3, /*failures=*/1,
+                                     /*delay_seconds=*/0.5}});
+  for (int round = 0; round < 2; ++round) {
+    Cluster cluster(2);
+    cluster.set_fault_injector(&injector);
+    cluster.run([&](Communicator& comm) { epoch_loop(comm, 10); });
+  }
+  EXPECT_EQ(injector.counters().stragglers, 1u);
+}
+
+}  // namespace
+}  // namespace dynkge::comm

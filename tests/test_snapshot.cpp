@@ -198,6 +198,35 @@ TEST_F(SnapshotTest, SaveIsByteDeterministic) {
   EXPECT_EQ(read_file(path("x.dkgs")), read_file(path("y.dkgs")));
 }
 
+TEST_F(SnapshotTest, InMemoryCodecMatchesTheFileCodecByteForByte) {
+  // serialize/deserialize (the elastic-recovery path) must be the exact
+  // codec save/load use — same sealed bytes, same state back.
+  const TrainingSnapshot snap = random_snapshot(31);
+  const std::string sealed = serialize_snapshot(snap);
+  save_snapshot(snap, path("disk.dkgs"));
+  EXPECT_EQ(sealed, read_file(path("disk.dkgs")));
+
+  const TrainingSnapshot decoded =
+      deserialize_snapshot(sealed, "in-memory snapshot");
+  expect_equal(snap, decoded);
+
+  write_snapshot_bytes(sealed, path("bytes.dkgs"));
+  EXPECT_EQ(read_file(path("bytes.dkgs")), sealed);
+}
+
+TEST_F(SnapshotTest, DeserializeNamesTheSourceOnCorruption) {
+  std::string sealed = serialize_snapshot(random_snapshot(32));
+  sealed[sealed.size() / 2] ^= 0x01;
+  try {
+    deserialize_snapshot(sealed, "elastic recovery snapshot");
+    FAIL() << "corrupted bytes accepted";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("elastic recovery snapshot"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
 TEST_F(SnapshotTest, TruncationAtAnyPointFailsLoudly) {
   const TrainingSnapshot snap = random_snapshot(3);
   save_snapshot(snap, path("t.dkgs"));

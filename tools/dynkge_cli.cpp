@@ -29,13 +29,29 @@
 //                                       to an uninterrupted run
 //                   [--fault-spec s]    inject collective faults, e.g.
 //                                       "crash@1@40,transient@0@12@2,
-//                                       straggler@2@30@0.5" (see
+//                                       straggler@2@30@0.5"; INDEX may be
+//                                       an epoch address like e2 (see
 //                                       comm/fault.hpp)
+//                   [--fault-retry-limit N]  transient-retry attempts per
+//                                       collective (default 4)
+//                   [--fault-backoff-base X]  modeled seconds before the
+//                                       first transient retry (default
+//                                       1e-3, doubling per retry)
+//                   [--elastic]         survive permanent rank crashes:
+//                                       shrink the world to the survivors,
+//                                       restore the last in-run snapshot,
+//                                       replay the poisoned epoch (exit 0
+//                                       on recovery, 3 when the budget
+//                                       below is exhausted)
+//                   [--max-rank-failures N]  cumulative rank-crash budget
+//                                       for --elastic (default 0)
 //                   [--kill-at-epoch N] test hook: SIGKILL self right after
 //                                       epoch N's snapshot is durable
 //                   [--kill-mid-write B]  with --kill-at-epoch: die after B
 //                                       bytes of the snapshot temp file
 //                                       instead (atomicity harness)
+//                   [--kill-in-recovery N]  test hook: SIGKILL self in the
+//                                       middle of the N-th elastic rebuild
 //                   [--save-model file] [--report file.json]
 //   dynkge eval     --data <dir> --model-file <file>       evaluate a saved
 //                                                          model
@@ -209,7 +225,8 @@ int cmd_train(const util::ArgParser& args) {
   config.strategy.dynamic_probe_interval = static_cast<int>(args.get_int(
       "probe-interval", config.strategy.dynamic_probe_interval));
 
-  // Fault tolerance: periodic snapshots + resume, and injected faults.
+  // Fault tolerance: periodic snapshots + resume, injected faults, and
+  // elastic shrink-world recovery.
   config.checkpoint.dir = args.get_string("checkpoint-dir", "");
   config.checkpoint.every =
       static_cast<int>(args.get_int("checkpoint-every", 1));
@@ -217,11 +234,26 @@ int cmd_train(const util::ArgParser& args) {
   config.checkpoint.test_kill_at_epoch =
       static_cast<int>(args.get_int("kill-at-epoch", -1));
   config.checkpoint.test_kill_mid_write = args.get_int("kill-mid-write", -1);
+  config.elastic.enabled = args.get_bool("elastic", false);
+  config.elastic.max_rank_failures =
+      static_cast<int>(args.get_int("max-rank-failures", 0));
+  config.elastic.test_kill_in_recovery =
+      static_cast<int>(args.get_int("kill-in-recovery", -1));
+  config.fault_retry_limit =
+      static_cast<int>(args.get_int("fault-retry-limit", 4));
+  config.fault_backoff_base = args.get_double("fault-backoff-base", 1e-3);
   std::unique_ptr<comm::FaultInjector> faults;
   const std::string fault_spec = args.get_string("fault-spec", "");
-  if (!fault_spec.empty()) {
+  if (!fault_spec.empty() && config.fault_retry_limit >= 1 &&
+      config.fault_backoff_base > 0.0) {
+    // Out-of-range retry knobs skip injector construction (whose own
+    // validation cannot name a flag) and let the trainer report the
+    // offending flag by name.
+    comm::RetryPolicy retry;
+    retry.max_attempts = config.fault_retry_limit;
+    retry.backoff_seconds = config.fault_backoff_base;
     faults = std::make_unique<comm::FaultInjector>(
-        comm::FaultInjector::parse_spec(fault_spec));
+        comm::FaultInjector::parse_spec(fault_spec), retry);
     config.fault_injector = faults.get();
   }
 
@@ -265,6 +297,12 @@ int cmd_train(const util::ArgParser& args) {
   }
   if (report.start_epoch > 0) {
     std::cout << "resumed from epoch " << report.start_epoch << "\n";
+  }
+  if (report.recoveries > 0) {
+    std::cout << "elastic: " << report.recoveries << " recoveries from "
+              << report.rank_failures << " rank failures ("
+              << report.recovery_seconds << " s rebuilding), finished on "
+              << report.num_nodes << " nodes\n";
   }
   if (!config.checkpoint.dir.empty()) {
     std::cout << "checkpoints: " << report.checkpoints_written
