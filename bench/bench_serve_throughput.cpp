@@ -88,11 +88,13 @@ BENCHMARK(BM_SingleQueryScan);
 /// Bounded-heap blocked scan, one thread: no dense score vector, no full
 /// sort — the win independent of parallelism and caching.
 void BM_TopKScorerSerial(benchmark::State& state) {
-  const TopKScorer scorer(shared_model());
+  const KgeModel& model = shared_model();
+  const TopKScorer scorer;
   const auto stream = make_stream(512, 512);
   std::size_t next = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(scorer.topk(stream[next++ % stream.size()]));
+    benchmark::DoNotOptimize(
+        scorer.topk(stream[next++ % stream.size()], model));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
@@ -100,13 +102,14 @@ BENCHMARK(BM_TopKScorerSerial);
 
 /// One query fanned out across N workers (latency-oriented parallelism).
 void BM_TopKScorerParallel(benchmark::State& state) {
-  const TopKScorer scorer(shared_model());
+  const KgeModel& model = shared_model();
+  const TopKScorer scorer;
   ThreadPool pool(static_cast<std::size_t>(state.range(0)));
   const auto stream = make_stream(512, 512);
   std::size_t next = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        scorer.topk(stream[next++ % stream.size()], pool));
+        scorer.topk(stream[next++ % stream.size()], model, pool));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }

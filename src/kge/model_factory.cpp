@@ -1,5 +1,6 @@
 #include "kge/model_factory.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "kge/complex_model.hpp"
@@ -26,6 +27,35 @@ std::unique_ptr<KgeModel> make_model(const std::string& name,
     return std::make_unique<RotatEModel>(num_entities, num_relations, rank);
   }
   throw std::invalid_argument("unknown KGE model: " + name);
+}
+
+std::unique_ptr<KgeModel> clone_model(const KgeModel& model) {
+  std::unique_ptr<KgeModel> clone;
+  if (const auto* complex = dynamic_cast<const ComplExModel*>(&model)) {
+    clone = std::make_unique<ComplExModel>(
+        model.num_entities(), model.num_relations(), complex->rank());
+  } else if (const auto* distmult =
+                 dynamic_cast<const DistMultModel*>(&model)) {
+    clone = std::make_unique<DistMultModel>(
+        model.num_entities(), model.num_relations(), distmult->rank());
+  } else if (const auto* transe = dynamic_cast<const TransEModel*>(&model)) {
+    clone = std::make_unique<TransEModel>(model.num_entities(),
+                                          model.num_relations(),
+                                          transe->rank(), transe->gamma());
+  } else if (const auto* rotate = dynamic_cast<const RotatEModel*>(&model)) {
+    clone = std::make_unique<RotatEModel>(model.num_entities(),
+                                          model.num_relations(),
+                                          rotate->rank(), rotate->gamma());
+  } else {
+    throw std::invalid_argument("clone_model: unknown model type '" +
+                                model.name() + "'");
+  }
+  clone->set_init_scale(model.init_scale());
+  std::copy(model.entities().flat().begin(), model.entities().flat().end(),
+            clone->entities().flat().begin());
+  std::copy(model.relations().flat().begin(), model.relations().flat().end(),
+            clone->relations().flat().begin());
+  return clone;
 }
 
 }  // namespace dynkge::kge

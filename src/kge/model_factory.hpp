@@ -17,4 +17,11 @@ std::unique_ptr<KgeModel> make_model(const std::string& name,
                                      std::int32_t num_relations,
                                      std::int32_t rank);
 
+/// Deep copy of a model: same concrete type, shape, hyper-parameters and
+/// parameter bytes. The streaming delta-refresh path clones the current
+/// serving snapshot, nudges only the touched rows, and publishes the copy
+/// as a new immutable version. Throws std::invalid_argument for model
+/// types the factory does not know.
+std::unique_ptr<KgeModel> clone_model(const KgeModel& model);
+
 }  // namespace dynkge::kge

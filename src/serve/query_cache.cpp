@@ -1,6 +1,7 @@
 #include "serve/query_cache.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace dynkge::serve {
 
@@ -17,7 +18,8 @@ QueryCache::QueryCache(std::size_t capacity, std::size_t num_shards)
   }
 }
 
-QueryCache::ResultPtr QueryCache::get(const TopKQuery& query) {
+QueryCache::ResultPtr QueryCache::get(const TopKQuery& query,
+                                      std::uint64_t current_version) {
   const std::uint64_t key = pack_query(query);
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
@@ -26,12 +28,22 @@ QueryCache::ResultPtr QueryCache::get(const TopKQuery& query) {
     shard.misses.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
+  if (max_version_lag_ != 0 &&
+      it->second->version + max_version_lag_ < current_version) {
+    // Aged past the staleness bound: the entry survived entity-keyed
+    // invalidation for too many publishes; force a rescore.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   shard.hits.fetch_add(1, std::memory_order_relaxed);
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->result;
 }
 
-void QueryCache::put(const TopKQuery& query, ResultPtr result) {
+void QueryCache::put(const TopKQuery& query, ResultPtr result,
+                     std::uint64_t version) {
   if (per_shard_capacity_ == 0) return;
   const std::uint64_t key = pack_query(query);
   Shard& shard = shard_for(key);
@@ -39,6 +51,7 @@ void QueryCache::put(const TopKQuery& query, ResultPtr result) {
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->result = std::move(result);
+    it->second->version = version;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
@@ -47,16 +60,50 @@ void QueryCache::put(const TopKQuery& query, ResultPtr result) {
     shard.lru.pop_back();
     shard.evictions.fetch_add(1, std::memory_order_relaxed);
   }
-  shard.lru.push_front(Entry{key, std::move(result)});
+  shard.lru.push_front(Entry{key, std::move(result), version});
   shard.index.emplace(key, shard.lru.begin());
 }
 
-void QueryCache::clear() {
+std::uint64_t QueryCache::clear() {
+  std::uint64_t dropped = 0;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
+    dropped += shard->lru.size();
     shard->lru.clear();
     shard->index.clear();
   }
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  invalidated_entries_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
+std::uint64_t QueryCache::invalidate_entities(
+    std::span<const kge::EntityId> touched) {
+  const std::unordered_set<kge::EntityId> set(touched.begin(), touched.end());
+  const auto depends_on_touched = [&set](const Entry& entry) {
+    if (set.count(query_entity_of(entry.key)) != 0) return true;
+    for (const ScoredEntity& scored : *entry.result) {
+      if (set.count(scored.entity) != 0) return true;
+    }
+    return false;
+  };
+
+  std::uint64_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (depends_on_touched(*it)) {
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  invalidated_entries_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
 }
 
 CacheStats QueryCache::stats() const {
@@ -68,6 +115,9 @@ CacheStats QueryCache::stats() const {
     std::lock_guard<std::mutex> lock(shard->mutex);
     stats.entries += shard->lru.size();
   }
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.invalidated_entries =
+      invalidated_entries_.load(std::memory_order_relaxed);
   return stats;
 }
 

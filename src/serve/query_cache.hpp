@@ -10,9 +10,22 @@
 // copying the result vector, and eviction never invalidates a result a
 // client still holds.
 //
-// A cached entry is valid for the model snapshot it was computed from;
-// after swapping in new embeddings call clear(). Counters (hits, misses,
-// evictions, size) are relaxed atomics aggregated across shards.
+// Staleness under streaming updates. Every entry records the snapshot
+// version it was computed from. Three mechanisms keep entries honest:
+//
+//  * clear() — full drop, for model swaps where everything changed.
+//  * invalidate_entities(touched) — entity-keyed drop, for delta
+//    refreshes: an entry is removed when its query-side entity or any
+//    entity in its result list was touched. This is exact for every
+//    cached score; the one conservative gap is a touched entity that was
+//    *outside* a cached top-k and would now enter it, which is why
+//    streaming deployments also set a version lag bound.
+//  * set_max_version_lag(n) — get() treats entries older than n publishes
+//    as misses (and erases them), bounding how long the gap above can
+//    persist. 0 disables the bound (static serving).
+//
+// Counters (hits, misses, evictions, invalidations, invalidated entries,
+// size) are relaxed atomics aggregated across shards.
 #pragma once
 
 #include <atomic>
@@ -20,6 +33,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -40,11 +54,18 @@ constexpr std::uint64_t pack_query(const TopKQuery& q) noexcept {
          (static_cast<std::uint64_t>(q.filter_known) << 59);
 }
 
+/// The fixed (query-side) entity a packed key was built from.
+constexpr kge::EntityId query_entity_of(std::uint64_t key) noexcept {
+  return static_cast<kge::EntityId>(key & ((1ULL << 21) - 1));
+}
+
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t entries = 0;
+  std::uint64_t invalidations = 0;        ///< clear() + invalidate_entities()
+  std::uint64_t invalidated_entries = 0;  ///< entries those calls dropped
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -66,14 +87,32 @@ class QueryCache {
   QueryCache& operator=(const QueryCache&) = delete;
 
   /// nullptr on miss; on hit the entry moves to most-recently-used.
-  ResultPtr get(const TopKQuery& query);
+  /// `current_version` is the snapshot version the caller serves from:
+  /// with a version-lag bound set, entries computed too many publishes
+  /// ago are dropped and reported as misses. Pass 0 (default) when not
+  /// serving versioned snapshots.
+  ResultPtr get(const TopKQuery& query, std::uint64_t current_version = 0);
 
-  /// Insert or refresh. Evicts the least-recently-used entry of the
-  /// target shard when that shard is full.
-  void put(const TopKQuery& query, ResultPtr result);
+  /// Insert or refresh, recording the snapshot `version` the result was
+  /// computed from. Evicts the least-recently-used entry of the target
+  /// shard when that shard is full.
+  void put(const TopKQuery& query, ResultPtr result,
+           std::uint64_t version = 0);
 
-  /// Drop all entries (e.g. after a model swap). Counters are kept.
-  void clear();
+  /// Drop all entries (model swap). Counts one invalidation plus every
+  /// dropped entry; returns the number dropped. Hit/miss counters are
+  /// kept.
+  std::uint64_t clear();
+
+  /// Entity-keyed invalidation (delta refresh): drop entries whose
+  /// query-side entity or any result entity is in `touched`. Returns the
+  /// number of entries dropped.
+  std::uint64_t invalidate_entities(std::span<const kge::EntityId> touched);
+
+  /// Bound entry age to `lag` publishes (0 = unbounded). Not thread-safe
+  /// against concurrent get(): set during wiring.
+  void set_max_version_lag(std::uint64_t lag) { max_version_lag_ = lag; }
+  std::uint64_t max_version_lag() const { return max_version_lag_; }
 
   CacheStats stats() const;
 
@@ -83,6 +122,7 @@ class QueryCache {
   struct Entry {
     std::uint64_t key;
     ResultPtr result;
+    std::uint64_t version;
   };
 
   struct Shard {
@@ -106,7 +146,10 @@ class QueryCache {
 
   std::size_t capacity_ = 0;
   std::size_t per_shard_capacity_ = 0;
+  std::uint64_t max_version_lag_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> invalidations_{0};
+  std::atomic<std::uint64_t> invalidated_entries_{0};
 };
 
 }  // namespace dynkge::serve

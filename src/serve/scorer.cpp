@@ -24,10 +24,19 @@ bool stronger(const ScoredEntity& a, const ScoredEntity& b) {
   return weaker(b, a);
 }
 
+void validate(const TopKQuery& query, const kge::KgeModel& model) {
+  if (query.k <= 0) throw std::invalid_argument("TopKScorer: k <= 0");
+  if (query.entity < 0 || query.entity >= model.num_entities() ||
+      query.relation < 0 || query.relation >= model.num_relations()) {
+    throw std::out_of_range("TopKScorer: entity/relation out of range");
+  }
+}
+
 }  // namespace
 
-void TopKScorer::scan_range(const TopKQuery& query, kge::EntityId begin,
-                            kge::EntityId end, TopKResult& out) const {
+void TopKScorer::scan_range(const TopKQuery& query, const kge::KgeModel& model,
+                            kge::EntityId begin, kge::EntityId end,
+                            TopKResult& out) const {
   if (begin >= end) return;
   const bool filter =
       query.filter_known && dataset_ != nullptr;
@@ -48,11 +57,11 @@ void TopKScorer::scan_range(const TopKQuery& query, kge::EntityId begin,
                                end - block));
     const std::span<double> block_scores(scores.data(), count);
     if (query.direction == Direction::kTail) {
-      model_->score_tails_block(query.entity, query.relation, block,
-                                block_scores);
+      model.score_tails_block(query.entity, query.relation, block,
+                              block_scores);
     } else {
-      model_->score_heads_block(query.relation, query.entity, block,
-                                block_scores);
+      model.score_heads_block(query.relation, query.entity, block,
+                              block_scores);
     }
     for (std::size_t i = 0; i < count; ++i) {
       const auto candidate =
@@ -87,31 +96,25 @@ void TopKScorer::finalize(TopKResult& candidates, std::int32_t k) {
   }
 }
 
-TopKResult TopKScorer::topk(const TopKQuery& query) const {
-  if (query.k <= 0) throw std::invalid_argument("TopKScorer: k <= 0");
-  if (query.entity < 0 || query.entity >= model_->num_entities() ||
-      query.relation < 0 || query.relation >= model_->num_relations()) {
-    throw std::out_of_range("TopKScorer: entity/relation out of range");
-  }
+TopKResult TopKScorer::topk(const TopKQuery& query,
+                            const kge::KgeModel& model) const {
+  validate(query, model);
   TopKResult result;
-  scan_range(query, 0, model_->num_entities(), result);
+  scan_range(query, model, 0, model.num_entities(), result);
   finalize(result, query.k);
   return result;
 }
 
-TopKResult TopKScorer::topk(const TopKQuery& query, ThreadPool& pool) const {
-  if (query.k <= 0) throw std::invalid_argument("TopKScorer: k <= 0");
-  if (query.entity < 0 || query.entity >= model_->num_entities() ||
-      query.relation < 0 || query.relation >= model_->num_relations()) {
-    throw std::out_of_range("TopKScorer: entity/relation out of range");
-  }
+TopKResult TopKScorer::topk(const TopKQuery& query, const kge::KgeModel& model,
+                            ThreadPool& pool) const {
+  validate(query, model);
   TopKResult merged;
   std::mutex merge_mutex;
   pool.parallel_for(
-      static_cast<std::size_t>(model_->num_entities()),
+      static_cast<std::size_t>(model.num_entities()),
       [&](std::size_t begin, std::size_t end) {
         TopKResult local;
-        scan_range(query, static_cast<kge::EntityId>(begin),
+        scan_range(query, model, static_cast<kge::EntityId>(begin),
                    static_cast<kge::EntityId>(end), local);
         std::lock_guard<std::mutex> lock(merge_mutex);
         merged.insert(merged.end(), local.begin(), local.end());

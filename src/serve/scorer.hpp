@@ -9,6 +9,12 @@
 // end. Blocks are independent, so a thread pool turns one query into an
 // embarrassingly parallel scan.
 //
+// The scorer holds no model: the model to score against is a per-call
+// argument, because under streaming updates the serving layer answers
+// each query from whichever immutable snapshot version it pinned
+// (stream/SnapshotStore) — there is no longer a single model for the
+// scorer to bind to.
+//
 // Ranking semantics match Evaluator::link_prediction: descending score,
 // ties broken by ascending entity id (the evaluator counts only strictly
 // greater scores, so any tie order is rank-compatible); with filtering on,
@@ -54,31 +60,30 @@ using TopKResult = std::vector<ScoredEntity>;
 class TopKScorer {
  public:
   /// `dataset` supplies the known-triple filter; nullptr disables
-  /// `filter_known` (queries then return unfiltered results). Both
-  /// references must outlive the scorer.
-  explicit TopKScorer(const kge::KgeModel& model,
-                      const kge::Dataset* dataset = nullptr,
+  /// `filter_known` (queries then return unfiltered results). The dataset
+  /// must outlive the scorer.
+  explicit TopKScorer(const kge::Dataset* dataset = nullptr,
                       std::size_t block_size = 4096)
-      : model_(&model), dataset_(dataset), block_size_(block_size) {}
+      : dataset_(dataset), block_size_(block_size) {}
 
-  /// Serial scan: one thread, still blocked for precomposition reuse.
-  TopKResult topk(const TopKQuery& query) const;
+  /// Serial scan of `model`: one thread, still blocked for precomposition
+  /// reuse.
+  TopKResult topk(const TopKQuery& query, const kge::KgeModel& model) const;
 
   /// Parallel scan: entity blocks fan out across `pool`, partial top-k
   /// heaps merge at the end. Identical results to the serial overload.
-  TopKResult topk(const TopKQuery& query, ThreadPool& pool) const;
-
-  const kge::KgeModel& model() const { return *model_; }
+  TopKResult topk(const TopKQuery& query, const kge::KgeModel& model,
+                  ThreadPool& pool) const;
 
  private:
   /// Top-k over entities [begin, end), appended to `out` (unsorted).
-  void scan_range(const TopKQuery& query, kge::EntityId begin,
-                  kge::EntityId end, TopKResult& out) const;
+  void scan_range(const TopKQuery& query, const kge::KgeModel& model,
+                  kge::EntityId begin, kge::EntityId end,
+                  TopKResult& out) const;
 
   /// Sort candidates by (score desc, id asc) and truncate to k.
   static void finalize(TopKResult& candidates, std::int32_t k);
 
-  const kge::KgeModel* model_;
   const kge::Dataset* dataset_;
   std::size_t block_size_;
 };

@@ -1,0 +1,35 @@
+#include "stream/delta.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dynkge::stream {
+
+DeltaFile load_delta_file(const std::string& path, std::int32_t num_entities,
+                          std::int32_t num_relations) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_delta_file: cannot open '" + path + "'");
+  }
+  DeltaFile out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    ++out.lines;
+    std::istringstream fields(line);
+    long long h = -1, r = -1, t = -1;
+    if (!(fields >> h >> r >> t) || h < 0 || r < 0 || t < 0 ||
+        h >= num_entities || t >= num_entities || r >= num_relations) {
+      ++out.skipped;
+      continue;
+    }
+    out.triples.push_back(kge::Triple{static_cast<kge::EntityId>(h),
+                                      static_cast<kge::RelationId>(r),
+                                      static_cast<kge::EntityId>(t)});
+  }
+  return out;
+}
+
+}  // namespace dynkge::stream

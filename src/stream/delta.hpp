@@ -1,0 +1,35 @@
+// Streamed knowledge-graph deltas.
+//
+// A delta is one new fact (a triple) arriving after the base model was
+// trained — the unit of change a living KG serving system must absorb
+// without a full retrain. Deltas arrive in a total order (the stream
+// order); the refresh pipeline preserves that order so a replayed stream
+// is byte-reproducible.
+//
+// Wire format (load_delta_file): one triple per line, "head relation
+// tail" as whitespace-separated integer ids. Blank lines and lines
+// starting with '#' are skipped; out-of-universe ids are counted and
+// dropped (a streamed fact about an unknown entity cannot be refreshed
+// into a fixed-shape embedding table — growing the universe is a model
+// swap, not a delta).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "kge/triple.hpp"
+
+namespace dynkge::stream {
+
+struct DeltaFile {
+  kge::TripleList triples;     ///< in-range deltas, in file order
+  std::size_t skipped = 0;     ///< out-of-range or malformed lines dropped
+  std::size_t lines = 0;       ///< non-comment, non-blank lines seen
+};
+
+/// Parse a delta stream file. `num_entities` / `num_relations` bound the
+/// id universe. Throws std::runtime_error if the file cannot be opened.
+DeltaFile load_delta_file(const std::string& path, std::int32_t num_entities,
+                          std::int32_t num_relations);
+
+}  // namespace dynkge::stream

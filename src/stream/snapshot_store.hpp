@@ -1,0 +1,135 @@
+// SnapshotStore — immutable, versioned embedding snapshots with atomic
+// zero-downtime hot-swap.
+//
+// The serving layer must keep answering queries while new model versions
+// arrive (full retrains or incremental delta refreshes). The store holds a
+// small ring of the most recent versions; each slot owns one immutable
+// model (shared_ptr<const KgeModel>) plus a reader count. The score path
+// takes no lock:
+//
+//   * acquire() — load the current slot index (the epoch pointer), bump
+//     that slot's reader count, re-check the pointer, copy the slot's
+//     shared_ptr out, and drop the count. The returned PinnedModel keeps
+//     its version alive via refcount for as long as the request runs, so
+//     a reader never observes a torn swap and every read is served
+//     entirely from one version ("stale reads are bounded to the pinned
+//     version").
+//
+//   * publish() — serialized by a writer mutex. The publisher prepares the
+//     next ring slot: it waits for that slot's readers to drain (they are
+//     only pinned for the few instructions of the shared_ptr copy — the
+//     slot became unreachable kRingSlots publishes ago), installs the new
+//     model, then advances the epoch pointer with a release store. Readers
+//     switch to the new version on their next acquire(); in-flight reads
+//     drain on the old version undisturbed.
+//
+// Publish observers (registered once at wiring time) run on the publisher
+// thread after the swap — the serving layer uses them for entity-keyed
+// cache invalidation, metrics and JSONL events.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "kge/model.hpp"
+#include "kge/triple.hpp"
+#include "obs/telemetry.hpp"
+
+namespace dynkge::stream {
+
+/// One immutable model version. Copyable and cheap: the model lives for at
+/// least as long as any PinnedModel that references it.
+struct PinnedModel {
+  std::shared_ptr<const kge::KgeModel> model;
+  std::uint64_t version = 0;
+
+  const kge::KgeModel& operator*() const { return *model; }
+  const kge::KgeModel* operator->() const { return model.get(); }
+  explicit operator bool() const { return model != nullptr; }
+};
+
+/// Called after a version becomes current: (version, entities whose rows
+/// changed relative to the previous version; empty = treat everything as
+/// changed, e.g. a full model swap).
+using PublishObserver =
+    std::function<void(std::uint64_t version,
+                       const std::vector<kge::EntityId>& touched)>;
+
+class SnapshotStore {
+ public:
+  /// Versions retained (and the bound on how far a long-lived PinnedModel
+  /// may lag before publishers stop having to wait for it).
+  static constexpr std::size_t kRingSlots = 4;
+
+  SnapshotStore() = default;
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Install the first version (version 1). Must be called exactly once,
+  /// before any acquire(); publishes after the first must use publish().
+  /// The non-owning overload aliases `model` without taking ownership —
+  /// the caller keeps it alive for the store's lifetime.
+  std::uint64_t init(std::shared_ptr<const kge::KgeModel> model);
+  std::uint64_t init(const kge::KgeModel& model);
+
+  /// Atomically make `model` the current version and return its number.
+  /// `touched` lists the entity rows that differ from the previous
+  /// version (empty = full swap, everything may have changed); it is
+  /// forwarded verbatim to publish observers. The new model must have the
+  /// same entity/relation universe as the current one. Thread-safe
+  /// against readers; concurrent publishers are serialized.
+  std::uint64_t publish(std::shared_ptr<const kge::KgeModel> model,
+                        std::vector<kge::EntityId> touched = {});
+  std::uint64_t publish(std::unique_ptr<kge::KgeModel> model,
+                        std::vector<kge::EntityId> touched = {});
+
+  /// Pin the current version. Lock-free: two atomic RMWs plus one
+  /// shared_ptr copy; never blocks on a publisher.
+  PinnedModel acquire() const;
+
+  /// Version of the current snapshot (0 before init()).
+  std::uint64_t current_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t publishes() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+
+  /// Register a publish observer (called on the publisher thread, after
+  /// the swap). Not thread-safe against concurrent publish(): register
+  /// during wiring, before updates start flowing.
+  void add_publish_observer(PublishObserver observer);
+
+  /// Optional telemetry: stream.swap trace spans, stream.snapshots /
+  /// stream.version metrics. Set during wiring.
+  void set_telemetry(const obs::TelemetrySinks& sinks) { sinks_ = sinks; }
+
+ private:
+  struct Slot {
+    /// Readers currently copying this slot's shared_ptr (not the number
+    /// of outstanding PinnedModels — those hold refcounts instead).
+    mutable std::atomic<std::uint64_t> readers{0};
+    std::shared_ptr<const kge::KgeModel> model;  ///< epoch-protected
+    std::uint64_t version = 0;                   ///< epoch-protected
+  };
+
+  std::uint64_t publish_locked(std::shared_ptr<const kge::KgeModel> model,
+                               std::vector<kge::EntityId>&& touched);
+
+  std::array<Slot, kRingSlots> slots_;
+  std::atomic<std::size_t> current_{0};   ///< the epoch pointer
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<std::uint64_t> publishes_{0};
+
+  std::mutex publish_mu_;  ///< one publisher at a time
+  std::vector<PublishObserver> observers_;
+  obs::TelemetrySinks sinks_;
+};
+
+}  // namespace dynkge::stream

@@ -61,13 +61,13 @@ class InferenceServiceTest : public ::testing::Test {
 TEST_F(InferenceServiceTest, AnswersMatchDirectScorer) {
   const auto model = make_initialized("complex");
   const Dataset dataset = make_dataset();
-  const TopKScorer reference(*model, &dataset);
+  const TopKScorer reference(&dataset);
   InferenceService service(*model, &dataset);
 
   const TopKQuery q{Direction::kTail, 2, 1, 5, false};
   const auto served = service.topk(q);
   ASSERT_NE(served, nullptr);
-  EXPECT_EQ(*served, reference.topk(q));
+  EXPECT_EQ(*served, reference.topk(q, *model));
 }
 
 TEST_F(InferenceServiceTest, CacheHitReturnsSameResultObject) {
@@ -84,21 +84,66 @@ TEST_F(InferenceServiceTest, CacheHitReturnsSameResultObject) {
   EXPECT_EQ(snapshot.cache.misses, 1u);
 }
 
-TEST_F(InferenceServiceTest, InvalidateCacheForcesRecompute) {
+TEST_F(InferenceServiceTest, SwapInvalidatesCacheAndBumpsVersion) {
   const auto model = make_initialized("complex");
   InferenceService service(*model, nullptr);
+  EXPECT_EQ(service.current_version(), 1u);
   const TopKQuery q{Direction::kTail, 1, 0, 8, false};
   const auto first = service.topk(q);
-  service.invalidate_cache();
+  // Swapping in a byte-identical clone must clear the cache (a swap
+  // promises nothing about what changed) and advance the version...
+  EXPECT_EQ(service.swap_model(kge::clone_model(*model)), 2u);
+  EXPECT_EQ(service.current_version(), 2u);
   const auto second = service.topk(q);
-  EXPECT_NE(first.get(), second.get());
-  EXPECT_EQ(*first, *second);  // same model -> same answer
+  EXPECT_NE(first.get(), second.get());  // recomputed, not cached
+  EXPECT_EQ(*first, *second);            // same weights -> same answer
+  const auto snapshot = service.snapshot();
+  EXPECT_EQ(snapshot.cache.invalidations, 1u);
+  EXPECT_EQ(snapshot.cache.invalidated_entries, 1u);
+}
+
+TEST_F(InferenceServiceTest, ReloadCheckpointSwapsServedWeights) {
+  const auto a = make_initialized("complex");
+  auto b = make_initialized("complex");
+  {
+    // Perturb one embedding row so the two checkpoints rank differently.
+    util::Rng rng(99);
+    b->init(rng);
+  }
+  const std::string file_b = path("b.dkge");
+  kge::save_model(*b, file_b);
+
+  InferenceService service(kge::clone_model(*a), nullptr);
+  const TopKQuery q{Direction::kTail, 3, 1, 8, false};
+  const TopKScorer reference;
+  ASSERT_NE(service.topk(q), nullptr);
+  EXPECT_EQ(*service.topk(q), reference.topk(q, *a));
+
+  EXPECT_EQ(service.reload_checkpoint(file_b), 2u);
+  const auto after = service.topk(q);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(*after, reference.topk(q, *b));
+}
+
+TEST_F(InferenceServiceTest, AdmissionShedsBeyondInflightLimit) {
+  const auto model = make_initialized("complex");
+  ServiceConfig config;
+  config.max_inflight = 1;
+  InferenceService service(*model, nullptr, config);
+  // Saturate the admission window from the outside, then observe a shed.
+  ASSERT_TRUE(service.admission().try_enter_read(1));
+  EXPECT_EQ(service.topk({Direction::kTail, 1, 0, 4, false}), nullptr);
+  service.admission().exit_read(1);
+  EXPECT_NE(service.topk({Direction::kTail, 1, 0, 4, false}), nullptr);
+  const auto snapshot = service.snapshot();
+  EXPECT_EQ(snapshot.shed, 1u);
+  EXPECT_EQ(snapshot.queries, 1u);
 }
 
 TEST_F(InferenceServiceTest, BatchMatchesSingleQueries) {
   const auto model = make_initialized("complex");
   const Dataset dataset = make_dataset();
-  const TopKScorer reference(*model, &dataset);
+  const TopKScorer reference(&dataset);
   InferenceService service(*model, &dataset);
 
   std::vector<TopKQuery> batch;
@@ -114,7 +159,7 @@ TEST_F(InferenceServiceTest, BatchMatchesSingleQueries) {
   ASSERT_EQ(results.size(), batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     ASSERT_NE(results[i], nullptr) << i;
-    EXPECT_EQ(*results[i], reference.topk(batch[i])) << i;
+    EXPECT_EQ(*results[i], reference.topk(batch[i], *model)) << i;
   }
   EXPECT_EQ(results[0].get(), results[batch.size() - 2].get());
   EXPECT_EQ(results[3].get(), results[batch.size() - 1].get());
@@ -124,11 +169,11 @@ TEST_F(InferenceServiceTest, BatchMatchesSingleQueries) {
 TEST_F(InferenceServiceTest, ConcurrentClientsGetConsistentAnswers) {
   const auto model = make_initialized("complex");
   InferenceService service(*model, nullptr, ServiceConfig{2, 64, 4, 16});
-  const TopKScorer reference(*model);
+  const TopKScorer reference;
 
   std::vector<std::thread> clients;
   for (int c = 0; c < 4; ++c) {
-    clients.emplace_back([&service, &reference, c] {
+    clients.emplace_back([&service, &reference, &model, c] {
       for (int i = 0; i < 25; ++i) {
         const TopKQuery q{Direction::kTail,
                           static_cast<EntityId>((c * 25 + i) % kEntities),
@@ -138,7 +183,7 @@ TEST_F(InferenceServiceTest, ConcurrentClientsGetConsistentAnswers) {
           ADD_FAILURE() << "null result";
           continue;
         }
-        EXPECT_EQ(*result, reference.topk(q));
+        EXPECT_EQ(*result, reference.topk(q, *model));
       }
     });
   }
@@ -176,7 +221,7 @@ TEST_F(InferenceServiceTest, CheckpointRoundTripServesIdenticalTopK) {
     const auto service =
         InferenceService::from_checkpoint(file, &dataset);
     ASSERT_NE(service, nullptr) << name;
-    const TopKScorer reference(*model, &dataset);
+    const TopKScorer reference(&dataset);
     for (const auto direction : {Direction::kTail, Direction::kHead}) {
       for (EntityId e = 0; e < 6; ++e) {
         const TopKQuery q{direction, e,
@@ -184,7 +229,7 @@ TEST_F(InferenceServiceTest, CheckpointRoundTripServesIdenticalTopK) {
                           e % 2 == 0};
         const auto served = service->topk(q);
         ASSERT_NE(served, nullptr) << name;
-        EXPECT_EQ(*served, reference.topk(q)) << name;
+        EXPECT_EQ(*served, reference.topk(q, *model)) << name;
       }
     }
   }

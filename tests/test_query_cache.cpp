@@ -100,6 +100,104 @@ TEST(QueryCache, EvictedResultStaysAliveForHolders) {
   EXPECT_DOUBLE_EQ((*held)[0].score, 4.0);
 }
 
+QueryCache::ResultPtr result_with(std::vector<kge::EntityId> entities) {
+  TopKResult result;
+  for (const auto e : entities) {
+    result.push_back({e, static_cast<double>(e)});
+  }
+  return std::make_shared<const TopKResult>(std::move(result));
+}
+
+TEST(QueryCache, InvalidateEntitiesDropsQuerySideDependents) {
+  QueryCache cache(16, 2);
+  cache.put(query(7), result_of(1.0));
+  cache.put(query(8), result_of(2.0));
+  const std::vector<kge::EntityId> touched{7};
+  EXPECT_EQ(cache.invalidate_entities(touched), 1u);
+  EXPECT_EQ(cache.get(query(7)), nullptr);   // its query entity was touched
+  EXPECT_NE(cache.get(query(8)), nullptr);   // unrelated entry still hits
+}
+
+TEST(QueryCache, InvalidateEntitiesDropsResultSideDependents) {
+  QueryCache cache(16, 2);
+  cache.put(query(1), result_with({10, 11, 12}));
+  cache.put(query(2), result_with({20, 21}));
+  cache.put(query(3), result_with({30}));
+  const std::vector<kge::EntityId> touched{11, 30};
+  EXPECT_EQ(cache.invalidate_entities(touched), 2u);
+  EXPECT_EQ(cache.get(query(1)), nullptr);  // 11 in its top-k
+  EXPECT_NE(cache.get(query(2)), nullptr);  // untouched
+  EXPECT_EQ(cache.get(query(3)), nullptr);  // 30 in its top-k
+}
+
+TEST(QueryCache, InvalidationCountersAccumulate) {
+  QueryCache cache(16, 2);
+  // Result lists must not alias entity 1, or the keyed invalidation
+  // would drop both entries through the result-side dependency.
+  cache.put(query(1), result_with({10}));
+  cache.put(query(2), result_with({20}));
+  const std::vector<kge::EntityId> touched{1};
+  cache.invalidate_entities(touched);
+  EXPECT_EQ(cache.clear(), 1u);  // query(2) remained
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 2u);
+  EXPECT_EQ(stats.invalidated_entries, 2u);
+}
+
+TEST(QueryCache, VersionLagExpiresStaleEntries) {
+  QueryCache cache(16, 2);
+  cache.set_max_version_lag(2);
+  cache.put(query(1), result_of(1.0), /*version=*/5);
+  // Within the lag bound: versions 5..7 still serve the entry.
+  EXPECT_NE(cache.get(query(1), 5), nullptr);
+  EXPECT_NE(cache.get(query(1), 7), nullptr);
+  // Past the bound: treated as a miss and erased.
+  EXPECT_EQ(cache.get(query(1), 8), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  // Version 0 (unversioned caller) never expires anything.
+  cache.put(query(2), result_of(2.0), /*version=*/1);
+  EXPECT_NE(cache.get(query(2), 0), nullptr);
+}
+
+TEST(QueryCache, ZeroLagNeverExpires) {
+  QueryCache cache(16, 2);
+  cache.put(query(1), result_of(1.0), /*version=*/1);
+  EXPECT_NE(cache.get(query(1), 1000), nullptr);
+}
+
+// Readers hammer get() while another thread runs entity-keyed
+// invalidations and a third publishes puts — the TSan job runs this to
+// prove invalidate_entities cannot race the lookup path.
+TEST(QueryCache, ConcurrentInvalidateAndGetIsSafe) {
+  QueryCache cache(128, 8);
+  constexpr int kEntities = 64;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 4000; ++i) {
+        const auto e = static_cast<kge::EntityId>((t * 13 + i) % kEntities);
+        if (auto hit = cache.get(query(e))) {
+          EXPECT_FALSE(hit->empty());
+        } else {
+          cache.put(query(e), result_with({e, (e + 1) % kEntities}));
+        }
+      }
+    });
+  }
+  threads.emplace_back([&cache] {
+    for (int i = 0; i < 2000; ++i) {
+      const std::vector<kge::EntityId> touched{
+          static_cast<kge::EntityId>(i % kEntities),
+          static_cast<kge::EntityId>((i * 7) % kEntities)};
+      cache.invalidate_entities(touched);
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 4u * 4000u);
+  EXPECT_EQ(stats.invalidations, 2000u);
+}
+
 TEST(QueryCache, ConcurrentMixedTrafficIsSafe) {
   QueryCache cache(64, 8);
   std::vector<std::thread> threads;

@@ -66,11 +66,11 @@ TopKResult brute_force(const kge::KgeModel& model, const TopKQuery& q) {
 
 TEST(TopKScorer, MatchesBruteForceOrdering) {
   const auto model = make_trained_like_model();
-  const TopKScorer scorer(*model);
+  const TopKScorer scorer;
   for (const auto direction : {Direction::kTail, Direction::kHead}) {
     const TopKQuery q{direction, 3, 1, 10, false};
     const auto expected = brute_force(*model, q);
-    const auto got = scorer.topk(q);
+    const auto got = scorer.topk(q, *model);
     ASSERT_EQ(got.size(), 10u);
     for (std::size_t i = 0; i < got.size(); ++i) {
       EXPECT_EQ(got[i].entity, expected[i].entity) << "position " << i;
@@ -81,12 +81,12 @@ TEST(TopKScorer, MatchesBruteForceOrdering) {
 
 TEST(TopKScorer, ScoresAreModelScores) {
   const auto model = make_trained_like_model();
-  const TopKScorer scorer(*model);
+  const TopKScorer scorer;
   std::vector<double> tail_scores(kEntities), head_scores(kEntities);
   model->score_all_tails(5, 2, tail_scores);
   model->score_all_heads(2, 5, head_scores);
 
-  const auto tails = scorer.topk({Direction::kTail, 5, 2, 5, false});
+  const auto tails = scorer.topk({Direction::kTail, 5, 2, 5, false}, *model);
   for (const auto& [entity, score] : tails) {
     // Bit-exact vs the blocked scan the evaluator uses; within float
     // rounding of the per-triple score() (which composes in double).
@@ -94,7 +94,7 @@ TEST(TopKScorer, ScoresAreModelScores) {
     EXPECT_NEAR(score, model->score(5, 2, entity),
                 1e-5 * (1.0 + std::abs(score)));
   }
-  const auto heads = scorer.topk({Direction::kHead, 5, 2, 5, false});
+  const auto heads = scorer.topk({Direction::kHead, 5, 2, 5, false}, *model);
   for (const auto& [entity, score] : heads) {
     EXPECT_DOUBLE_EQ(score, head_scores[entity]);
     EXPECT_NEAR(score, model->score(entity, 2, 5),
@@ -105,12 +105,13 @@ TEST(TopKScorer, ScoresAreModelScores) {
 TEST(TopKScorer, ParallelMatchesSerial) {
   const auto model = make_trained_like_model();
   // Tiny blocks force many chunks; results must not depend on the split.
-  const TopKScorer scorer(*model, nullptr, /*block_size=*/7);
+  const TopKScorer scorer(nullptr, /*block_size=*/7);
   for (const std::size_t threads : {1u, 2u, 5u}) {
     ThreadPool pool(threads);
     for (EntityId e = 0; e < 8; ++e) {
       const TopKQuery q{Direction::kTail, e, e % kRelations, 12, false};
-      EXPECT_EQ(scorer.topk(q, pool), scorer.topk(q)) << "threads " << threads;
+      EXPECT_EQ(scorer.topk(q, *model, pool), scorer.topk(q, *model))
+          << "threads " << threads;
     }
   }
 }
@@ -118,18 +119,20 @@ TEST(TopKScorer, ParallelMatchesSerial) {
 TEST(TopKScorer, FilterExcludesKnownTriples) {
   const auto model = make_trained_like_model();
   const Dataset dataset = make_dataset();
-  const TopKScorer scorer(*model, &dataset);
+  const TopKScorer scorer(&dataset);
   const Triple probe = dataset.train()[0];
   const auto result = scorer.topk(
       {Direction::kTail, probe.head, probe.relation,
-       static_cast<std::int32_t>(kEntities), true});
+       static_cast<std::int32_t>(kEntities), true},
+      *model);
   for (const auto& [entity, score] : result) {
     EXPECT_FALSE(dataset.contains(probe.head, probe.relation, entity));
   }
   // The known tail is present without the filter.
   const auto unfiltered = scorer.topk(
       {Direction::kTail, probe.head, probe.relation,
-       static_cast<std::int32_t>(kEntities), false});
+       static_cast<std::int32_t>(kEntities), false},
+      *model);
   EXPECT_TRUE(std::any_of(unfiltered.begin(), unfiltered.end(),
                           [&](const ScoredEntity& s) {
                             return s.entity == probe.tail;
@@ -143,7 +146,7 @@ TEST(TopKScorer, RankParityWithEvaluator) {
   const auto model = make_trained_like_model();
   const Dataset dataset = make_dataset();
   const kge::Evaluator evaluator(dataset);
-  const TopKScorer scorer(*model, &dataset);
+  const TopKScorer scorer(&dataset);
 
   for (const bool filtered : {false, true}) {
     kge::EvalOptions options;
@@ -179,7 +182,8 @@ TEST(TopKScorer, RankParityWithEvaluator) {
         const double true_score = all[truth];
         const auto result = scorer.topk(
             {direction, fixed, t.relation,
-             static_cast<std::int32_t>(kEntities), filtered});
+             static_cast<std::int32_t>(kEntities), filtered},
+            *model);
         std::size_t rank = 1;
         for (const auto& [entity, score] : result) {
           rank += entity != truth && score > true_score;
@@ -194,23 +198,23 @@ TEST(TopKScorer, RankParityWithEvaluator) {
 
 TEST(TopKScorer, TruncatesToK) {
   const auto model = make_trained_like_model();
-  const TopKScorer scorer(*model);
-  EXPECT_EQ(scorer.topk({Direction::kTail, 0, 0, 3, false}).size(), 3u);
-  EXPECT_EQ(scorer.topk({Direction::kTail, 0, 0, 1000, false}).size(),
+  const TopKScorer scorer;
+  EXPECT_EQ(scorer.topk({Direction::kTail, 0, 0, 3, false}, *model).size(), 3u);
+  EXPECT_EQ(scorer.topk({Direction::kTail, 0, 0, 1000, false}, *model).size(),
             static_cast<std::size_t>(kEntities));
 }
 
 TEST(TopKScorer, RejectsBadQueries) {
   const auto model = make_trained_like_model();
-  const TopKScorer scorer(*model);
-  EXPECT_THROW(scorer.topk({Direction::kTail, 0, 0, 0, false}),
+  const TopKScorer scorer;
+  EXPECT_THROW(scorer.topk({Direction::kTail, 0, 0, 0, false}, *model),
                std::invalid_argument);
-  EXPECT_THROW(scorer.topk({Direction::kTail, kEntities, 0, 5, false}),
+  EXPECT_THROW(scorer.topk({Direction::kTail, kEntities, 0, 5, false}, *model),
                std::out_of_range);
-  EXPECT_THROW(scorer.topk({Direction::kTail, 0, kRelations, 5, false}),
+  EXPECT_THROW(scorer.topk({Direction::kTail, 0, kRelations, 5, false}, *model),
                std::out_of_range);
   ThreadPool pool(2);
-  EXPECT_THROW(scorer.topk({Direction::kTail, -1, 0, 5, false}, pool),
+  EXPECT_THROW(scorer.topk({Direction::kTail, -1, 0, 5, false}, *model, pool),
                std::out_of_range);
 }
 

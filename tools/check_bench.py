@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Gate serve-bench results against a committed baseline.
+
+Usage:
+    tools/check_bench.py BENCH_serve.json [BENCH_serve.baseline.json]
+        [--tolerance 0.10]
+
+Reads the JSON written by `dynkge serve-bench --bench-json` and compares a
+set of gated metrics against the committed baseline. Exit 0 when every
+gate holds, 1 on any regression (or malformed input).
+
+Gate design: correctness metrics (failed requests under churn, versions
+published, cache hit rate) are tight — they are deterministic for a seeded
+stream, so the default 10% tolerance applies and failed_requests must be
+exactly zero. Timing metrics (QPS, p99) get wide per-metric tolerances:
+shared CI runners jitter by integer factors, and the gate should catch
+"the serve path got 10x slower", not scheduler noise. A tighter local run
+against the same baseline still reports the precise deltas.
+"""
+
+import argparse
+import json
+import sys
+
+# (path, direction, tolerance override or None -> default --tolerance).
+# direction "higher": current >= baseline * (1 - tol)
+# direction "lower":  current <= baseline * (1 + tol)
+# direction "exact":  current == baseline
+GATES = [
+    ("steady.cache_hit_rate", "higher", None),
+    ("steady.qps", "higher", 0.90),
+    ("steady.p99_seconds", "lower", 9.0),
+    ("churn.qps", "higher", 0.90),
+    ("churn.p99_seconds", "lower", 9.0),
+    ("churn.versions_published", "higher", None),
+    ("churn.failed_requests", "exact", None),
+    ("baseline_scan_qps", "higher", 0.90),
+]
+
+
+def lookup(doc, path):
+    node = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check(current, baseline, default_tolerance):
+    failures = []
+    for path, direction, override in GATES:
+        base = lookup(baseline, path)
+        cur = lookup(current, path)
+        if base is None:
+            # The baseline doesn't gate this metric (e.g. no churn phase).
+            continue
+        if cur is None:
+            failures.append(f"{path}: missing from current results")
+            continue
+        tol = default_tolerance if override is None else override
+        if direction == "exact":
+            ok = cur == base
+            bound = base
+        elif direction == "higher":
+            bound = base * (1.0 - tol)
+            ok = cur >= bound
+        else:  # lower
+            bound = base * (1.0 + tol)
+            ok = cur <= bound
+        status = "ok  " if ok else "FAIL"
+        print(f"  [{status}] {path}: {cur:g} vs baseline {base:g} "
+              f"({direction}, bound {bound:g})")
+        if not ok:
+            failures.append(f"{path}: {cur:g} violates {direction} bound "
+                            f"{bound:g} (baseline {base:g})")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="BENCH_serve.json from this run")
+    parser.add_argument("baseline", nargs="?",
+                        default="BENCH_serve.baseline.json",
+                        help="committed baseline (default: "
+                             "BENCH_serve.baseline.json)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="default relative tolerance (default 0.10)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.current) as f:
+            current = json.load(f)
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_bench: {error}", file=sys.stderr)
+        return 1
+
+    print(f"check_bench: {args.current} vs {args.baseline} "
+          f"(default tolerance {args.tolerance:.0%})")
+    failures = check(current, baseline, args.tolerance)
+    if failures:
+        print(f"check_bench: {len(failures)} gate(s) failed:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("check_bench: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

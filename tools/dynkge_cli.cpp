@@ -59,22 +59,46 @@
 //                   --head H | --tail T  --relation R      for a query,
 //                   [--topk K] [--threads N] [--filter]    served by
 //                                                          serve/TopKScorer
+//   dynkge serve    --data <dir> | --preset <name>         serve a model
+//                   [--model-file f]                       while streaming
+//                   --stream-updates <file>                KG updates into
+//                   [--queries N] [--clients N]            it: concurrent
+//                   [--threads N] [--cache N]              Zipf-skewed reads
+//                   [--topk K] [--seed N]                  against versioned
+//                   [--delta-batch N] [--refresh-steps N]  snapshots, deltas
+//                   [--refresh-lr X] [--max-inflight N]    batched through
+//                   [--max-version-lag N]                  DeltaIngestor and
+//                   [--metrics-out f] [--trace-out f]      hot-swapped with
+//                   [--events-out f.jsonl]                 zero downtime
 //   dynkge serve-bench --data <dir> | --preset <name>      replay a skewed
 //                   [--model-file f] [--queries N]         synthetic query
 //                   [--distinct N] [--topk K]              stream through
 //                   [--threads N] [--cache N] [--batch N]  InferenceService;
 //                   [--seed N] [--metrics-out f]           report p50/p95/p99
-//                                                          latency, QPS, and
-//                                                          speedup over the
-//                                                          single-query scan
+//                   [--mixed-updates N] [--delta-batch N]  latency, QPS, and
+//                   [--refresh-steps N]                    speedup over the
+//                   [--bench-json f]                       single-query scan;
+//                                                          --mixed-updates
+//                                                          adds a churn phase
+//                                                          (reads racing delta
+//                                                          publishes) and
+//                                                          --bench-json emits
+//                                                          machine-readable
+//                                                          results for
+//                                                          tools/check_bench.py
 #include <algorithm>
+#include <atomic>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/service.hpp"
+#include "stream/delta.hpp"
+#include "stream/delta_ingestor.hpp"
 
 #include "comm/fault.hpp"
 #include "core/distributed_eval.hpp"
@@ -91,6 +115,7 @@
 #include "kge/synthetic.hpp"
 #include "kge/tsv_loader.hpp"
 #include "util/argparse.hpp"
+#include "util/json_writer.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -99,7 +124,7 @@ using namespace dynkge;
 namespace {
 
 int usage() {
-  std::cerr << "usage: dynkge <generate|stats|train|eval|predict|"
+  std::cerr << "usage: dynkge <generate|stats|train|eval|predict|serve|"
                "serve-bench> [--flags]\n"
                "(see the header of tools/dynkge_cli.cpp)\n";
   return 2;
@@ -439,26 +464,229 @@ int cmd_predict(const util::ArgParser& args) {
   return 0;
 }
 
+/// Model for the serving commands: a checkpoint when --model-file is
+/// given, otherwise freshly initialized weights (they score garbage but
+/// cost exactly the same to serve — fine for throughput work).
+std::unique_ptr<kge::KgeModel> serving_model(const util::ArgParser& args,
+                                             const kge::Dataset& dataset) {
+  const std::string model_path = args.get_string("model-file", "");
+  if (!model_path.empty()) return kge::load_model(model_path);
+  auto model = kge::make_model(
+      args.get_string("model", "complex"), dataset.num_entities(),
+      dataset.num_relations(),
+      static_cast<std::int32_t>(args.get_int("rank", 32)));
+  util::Rng init_rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  model->init(init_rng);
+  return model;
+}
+
+/// Zipf(1.0)-skewed query stream over `distinct` identities — the
+/// popularity profile the cache is designed for.
+std::vector<serve::TopKQuery> make_query_stream(const kge::Dataset& dataset,
+                                                std::size_t count,
+                                                std::size_t distinct,
+                                                std::int32_t topk,
+                                                std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x5e7fe5e7fe5ULL);
+  std::vector<serve::TopKQuery> identities(std::max<std::size_t>(1, distinct));
+  for (auto& q : identities) {
+    q.direction = rng.next_bernoulli(0.5) ? serve::Direction::kTail
+                                          : serve::Direction::kHead;
+    q.entity = static_cast<kge::EntityId>(
+        rng.next_below(static_cast<std::uint64_t>(dataset.num_entities())));
+    q.relation = static_cast<kge::RelationId>(
+        rng.next_below(static_cast<std::uint64_t>(dataset.num_relations())));
+    q.k = std::min<std::int32_t>(topk, dataset.num_entities());
+  }
+  const util::ZipfSampler skew(identities.size(), 1.0);
+  std::vector<serve::TopKQuery> stream(count);
+  for (auto& q : stream) q = identities[skew.sample(rng)];
+  return stream;
+}
+
+/// Synthetic delta triples for churn benchmarks: uniform over the
+/// dataset's universe, deterministic in `seed`.
+kge::TripleList make_delta_stream(const kge::Dataset& dataset,
+                                  std::size_t count, std::uint64_t seed) {
+  util::Rng rng(seed ^ 0xde17a5ULL);
+  kge::TripleList deltas(count);
+  for (auto& t : deltas) {
+    t.head = static_cast<kge::EntityId>(
+        rng.next_below(static_cast<std::uint64_t>(dataset.num_entities())));
+    t.relation = static_cast<kge::RelationId>(
+        rng.next_below(static_cast<std::uint64_t>(dataset.num_relations())));
+    t.tail = static_cast<kge::EntityId>(
+        rng.next_below(static_cast<std::uint64_t>(dataset.num_entities())));
+  }
+  return deltas;
+}
+
+stream::IngestConfig ingest_config_from_flags(const util::ArgParser& args,
+                                              const kge::Dataset& dataset) {
+  stream::IngestConfig config;
+  config.batch_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.get_int("delta-batch", 64)));
+  config.refresh.steps =
+      static_cast<int>(args.get_int("refresh-steps", 2));
+  config.refresh.learning_rate = args.get_double("refresh-lr", 0.05);
+  config.refresh.negatives_sampled =
+      static_cast<int>(args.get_int("refresh-negatives", 4));
+  config.refresh.negatives_used = config.refresh.negatives_sampled;
+  config.refresh.seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 42));
+  config.dataset = &dataset;
+  return config;
+}
+
+// Serve a model while streaming KG updates into it: concurrent client
+// threads replay a Zipf-skewed read stream against versioned snapshots
+// while a delta file is ingested, refreshed and hot-swapped in. The
+// demo/operational counterpart of `serve-bench --mixed-updates`.
+int cmd_serve(const util::ArgParser& args) {
+  const std::string updates = args.get_string("stream-updates", "");
+  if (updates.empty()) {
+    std::cerr << "serve: --stream-updates <file> is required\n";
+    return 2;
+  }
+  if (!updates.empty() &&
+      updates.find_first_not_of("0123456789") == std::string::npos) {
+    std::cerr << "serve: --stream-updates expects a delta file; listening "
+                 "on a port is not supported in this build\n";
+    return 2;
+  }
+
+  const kge::Dataset dataset = dataset_from_flags(args);
+  const auto deltas = stream::load_delta_file(
+      updates, dataset.num_entities(), dataset.num_relations());
+  std::cout << "serve: " << deltas.triples.size() << " streamed deltas from "
+            << updates;
+  if (deltas.skipped > 0) {
+    std::cout << " (" << deltas.skipped << " out-of-universe lines dropped)";
+  }
+  std::cout << "\n";
+
+  serve::ServiceConfig config;
+  config.num_threads = static_cast<int>(args.get_int("threads", 4));
+  config.cache_capacity =
+      static_cast<std::size_t>(args.get_int("cache", 1024));
+  config.max_inflight =
+      static_cast<std::size_t>(args.get_int("max-inflight", 0));
+  config.defer_updates_above = config.max_inflight;
+  config.cache_max_version_lag =
+      static_cast<std::uint64_t>(args.get_int("max-version-lag", 8));
+
+  // Telemetry sinks, created only when a flag asks for them.
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::TraceWriter> trace;
+  std::unique_ptr<obs::EventLog> events;
+  obs::TelemetrySinks sinks;
+  const std::string metrics_path = args.get_string("metrics-out", "");
+  const std::string trace_path = args.get_string("trace-out", "");
+  const std::string events_path = args.get_string("events-out", "");
+  if (!metrics_path.empty()) {
+    metrics = std::make_unique<obs::MetricsRegistry>();
+    config.metrics = metrics.get();
+    sinks.metrics = metrics.get();
+  }
+  if (!trace_path.empty()) {
+    trace = std::make_unique<obs::TraceWriter>();
+    config.trace = trace.get();
+    sinks.trace = trace.get();
+  }
+  if (!events_path.empty()) {
+    events = std::make_unique<obs::EventLog>(events_path);
+    sinks.events = events.get();
+  }
+
+  serve::InferenceService service(serving_model(args, dataset), &dataset,
+                                  config);
+  service.store().set_telemetry(sinks);
+
+  stream::IngestConfig ingest = ingest_config_from_flags(args, dataset);
+  ingest.admission = &service.admission();
+  ingest.telemetry = sinks;
+  stream::DeltaIngestor ingestor(service.store(), ingest);
+
+  const auto num_queries =
+      static_cast<std::size_t>(args.get_int("queries", 2000));
+  const auto stream = make_query_stream(
+      dataset, num_queries,
+      std::max<std::size_t>(
+          1, static_cast<std::size_t>(args.get_int("distinct", 256))),
+      static_cast<std::int32_t>(args.get_int("topk", 10)),
+      static_cast<std::uint64_t>(args.get_int("seed", 42)));
+
+  const auto clients = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.get_int("clients", 2)));
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> failed{0};
+
+  const util::Stopwatch clock;
+  std::vector<std::thread> readers;
+  readers.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    readers.emplace_back([&, c] {
+      for (std::size_t i = c; i < stream.size(); i += clients) {
+        const auto result = service.topk(stream[i]);
+        if (result != nullptr) {
+          answered.fetch_add(1, std::memory_order_relaxed);
+        } else if (config.max_inflight != 0) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Ingest on this thread, concurrently with the readers: submit() flushes
+  // (refresh + publish) inline every batch_size deltas.
+  for (const kge::Triple& t : deltas.triples) ingestor.submit(t);
+  ingestor.flush();
+  for (auto& reader : readers) reader.join();
+  const double wall = clock.seconds();
+
+  const auto snapshot = service.snapshot();
+  const auto ingest_stats = ingestor.stats();
+  std::cout << "served " << answered.load() << "/" << stream.size()
+            << " queries on " << clients << " clients in "
+            << serve::LatencyHistogram::format_seconds(wall) << " ("
+            << static_cast<std::uint64_t>(
+                   static_cast<double>(answered.load()) / wall)
+            << " qps), " << shed.load() << " shed, " << failed.load()
+            << " failed\n"
+            << "latency: " << snapshot.summary() << "\n"
+            << "stream: " << ingest_stats.batches << " refreshes -> version "
+            << service.current_version() << ", "
+            << ingest_stats.touched_rows << " rows touched, last drift "
+            << ingest_stats.last_drift << ", cache invalidations "
+            << snapshot.cache.invalidations << " ("
+            << snapshot.cache.invalidated_entries << " entries)\n";
+
+  if (metrics != nullptr) {
+    obs::write_metrics(*metrics, metrics_path);
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
+  if (trace != nullptr) {
+    trace->write(trace_path);
+    std::cout << "trace written to " << trace_path << " ("
+              << trace->size() << " spans)\n";
+  }
+  if (events != nullptr) {
+    events->flush();
+    std::cout << "events written to " << events_path << " ("
+              << events->lines_written() << " lines)\n";
+  }
+  return failed.load() == 0 ? 0 : 1;
+}
+
 // Replay a skewed synthetic query stream through InferenceService and
 // compare against the pre-serve inference path: one query at a time, one
 // thread, full score_all_* scan + partial_sort, no cache.
 int cmd_serve_bench(const util::ArgParser& args) {
   const kge::Dataset dataset = dataset_from_flags(args);
 
-  const std::string model_path = args.get_string("model-file", "");
-  std::unique_ptr<kge::KgeModel> model;
-  if (!model_path.empty()) {
-    model = kge::load_model(model_path);
-  } else {
-    // Untrained weights score garbage but cost exactly the same to serve —
-    // fine for a throughput benchmark.
-    model = kge::make_model(
-        args.get_string("model", "complex"), dataset.num_entities(),
-        dataset.num_relations(),
-        static_cast<std::int32_t>(args.get_int("rank", 32)));
-    util::Rng init_rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
-    model->init(init_rng);
-  }
+  std::unique_ptr<kge::KgeModel> model = serving_model(args, dataset);
   const kge::KgeModel& m = *model;
 
   const auto num_queries =
@@ -480,23 +708,9 @@ int cmd_serve_bench(const util::ArgParser& args) {
     config.metrics = metrics.get();
   }
 
-  // Distinct query identities, then a Zipf(1.0)-skewed stream over them —
-  // the popularity profile the cache is designed for.
-  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)) ^
-                0x5e7fe5e7fe5ULL);
-  std::vector<serve::TopKQuery> identities(num_distinct);
-  for (auto& q : identities) {
-    q.direction = rng.next_bernoulli(0.5) ? serve::Direction::kTail
-                                          : serve::Direction::kHead;
-    q.entity = static_cast<kge::EntityId>(
-        rng.next_below(static_cast<std::uint64_t>(dataset.num_entities())));
-    q.relation = static_cast<kge::RelationId>(
-        rng.next_below(static_cast<std::uint64_t>(dataset.num_relations())));
-    q.k = std::min<std::int32_t>(topk, dataset.num_entities());
-  }
-  const util::ZipfSampler skew(num_distinct, 1.0);
-  std::vector<serve::TopKQuery> stream(num_queries);
-  for (auto& q : stream) q = identities[skew.sample(rng)];
+  const auto stream = make_query_stream(
+      dataset, num_queries, num_distinct, topk,
+      static_cast<std::uint64_t>(args.get_int("seed", 42)));
 
   std::cout << "serve-bench: " << num_queries << " queries ("
             << num_distinct << " distinct, Zipf-skewed), top-" << topk
@@ -553,20 +767,107 @@ int cmd_serve_bench(const util::ArgParser& args) {
   const double serve_qps =
       static_cast<double>(stream.size()) / serve_seconds;
 
-  const auto snapshot = service.snapshot();
+  const auto steady = service.snapshot();
   std::cout << "service (" << service.num_threads() << " threads, cache "
             << config.cache_capacity << ", batch " << batch << "): "
             << stream.size() << " queries in "
             << serve::LatencyHistogram::format_seconds(serve_seconds)
             << "  ->  " << static_cast<std::uint64_t>(serve_qps) << " qps\n"
-            << "latency: " << snapshot.summary() << "\n"
+            << "latency: " << steady.summary() << "\n"
             << "speedup over single-query scan: "
             << (serve_qps / baseline_qps) << "x\n";
+
+  // Churn phase (--mixed-updates N): replay the read stream again while N
+  // synthetic deltas are refreshed and hot-swapped in from another thread.
+  // The zero-downtime claim is checked directly: every read slot must come
+  // back non-null (no request may fail because a publish was in flight).
+  const auto mixed_updates =
+      static_cast<std::size_t>(args.get_int("mixed-updates", 0));
+  double churn_qps = 0.0;
+  std::uint64_t churn_failed = 0;
+  std::uint64_t churn_versions = 0;
+  serve::ServiceSnapshot churn;
+  if (mixed_updates > 0) {
+    const auto deltas = make_delta_stream(
+        dataset, mixed_updates,
+        static_cast<std::uint64_t>(args.get_int("seed", 42)));
+    stream::IngestConfig ingest = ingest_config_from_flags(args, dataset);
+    ingest.admission = &service.admission();
+    stream::DeltaIngestor ingestor(service.store(), ingest);
+
+    service.reset_metrics();
+    const std::uint64_t version_before = service.current_version();
+    util::Stopwatch churn_clock;
+    std::thread updater([&] {
+      for (const kge::Triple& t : deltas) ingestor.submit(t);
+      ingestor.flush();
+    });
+    for (std::size_t begin = 0; begin < stream.size(); begin += batch) {
+      const auto end = std::min(stream.size(), begin + batch);
+      const auto results =
+          service.topk_batch(std::span(stream).subspan(begin, end - begin));
+      for (const auto& result : results) churn_failed += result == nullptr;
+    }
+    updater.join();
+    const double churn_seconds = churn_clock.seconds();
+    churn_qps = static_cast<double>(stream.size()) / churn_seconds;
+    churn = service.snapshot();
+    churn_versions = service.current_version() - version_before;
+    std::cout << "churn (" << mixed_updates << " deltas, batch "
+              << ingest.batch_size << "): " << stream.size()
+              << " queries in "
+              << serve::LatencyHistogram::format_seconds(churn_seconds)
+              << "  ->  " << static_cast<std::uint64_t>(churn_qps)
+              << " qps, " << churn_versions << " versions published, "
+              << churn_failed << " failed requests\n"
+              << "latency under churn: " << churn.summary() << "\n";
+  }
+
+  const std::string bench_json = args.get_string("bench-json", "");
+  if (!bench_json.empty()) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.kv("bench", "serve");
+    json.kv("queries", stream.size());
+    json.kv("distinct", num_distinct);
+    json.kv("batch", batch);
+    json.kv("threads", service.num_threads());
+    json.kv("cache_capacity", config.cache_capacity);
+    json.kv("baseline_scan_qps", baseline_qps);
+    json.key("steady").begin_object();
+    json.kv("qps", serve_qps);
+    json.kv("p50_seconds", steady.p50_seconds);
+    json.kv("p95_seconds", steady.p95_seconds);
+    json.kv("p99_seconds", steady.p99_seconds);
+    json.kv("cache_hit_rate", steady.cache.hit_rate());
+    json.end_object();
+    if (mixed_updates > 0) {
+      json.key("churn").begin_object();
+      json.kv("deltas", mixed_updates);
+      json.kv("qps", churn_qps);
+      json.kv("p99_seconds", churn.p99_seconds);
+      json.kv("versions_published", churn_versions);
+      json.kv("failed_requests", churn_failed);
+      json.kv("shed", churn.shed);
+      json.kv("cache_invalidations", churn.cache.invalidations);
+      json.kv("cache_invalidated_entries", churn.cache.invalidated_entries);
+      json.end_object();
+    }
+    json.end_object();
+    std::ofstream out(bench_json);
+    if (!out) {
+      std::cerr << "serve-bench: cannot write " << bench_json << "\n";
+      return 1;
+    }
+    out << json.str() << "\n";
+    std::cout << "bench results written to " << bench_json << "\n";
+  }
+
   if (metrics != nullptr) {
     obs::write_metrics(*metrics, metrics_path);
     std::cout << "metrics written to " << metrics_path << "\n";
   }
-  return 0;
+  return churn_failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -581,6 +882,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(args);
     if (command == "eval") return cmd_eval(args);
     if (command == "predict") return cmd_predict(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "serve-bench") return cmd_serve_bench(args);
   } catch (const std::exception& error) {
     std::cerr << "dynkge " << command << ": " << error.what() << "\n";
