@@ -1,0 +1,179 @@
+// Training-kernel regression bench: scalar reference path vs the blocked
+// kernels (batched scoring, GradWork gradient blocks, blocked Adam) on the
+// FB250K stand-in at 8 simulated ranks.
+//
+// Two configurations bracket the hot path:
+//   baseline  — all-reduce, 1 negative per positive (paper's FB250K
+//               baseline): gradient accumulation + Adam dominate.
+//   combined  — DRS + 1-bit + RP + SS 1:5 (the paper's best stack):
+//               hard-negative candidate scoring dominates, which is the
+//               forward path the blocked kernels batch.
+//
+// For each configuration both paths train the same job; the bench asserts
+// the final models are byte-identical (the blocked path's core contract)
+// and reports epoch throughput as positives retired per compute-CPU
+// second — CPU time, not wall time, so the number means the same thing on
+// a loaded CI runner and a quiet laptop.
+//
+// --bench-json <file> writes the machine-readable results consumed by
+// tools/check_bench.py (the CI gate against BENCH_train.baseline.json).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "harness/harness.hpp"
+#include "util/argparse.hpp"
+#include "util/json_writer.hpp"
+
+using namespace dynkge;
+
+namespace {
+
+struct PathResult {
+  double compute_cpu_seconds = 0.0;
+  double wall_seconds = 0.0;
+  int epochs = 0;
+  double throughput = 0.0;  ///< positives / compute-CPU-second
+  core::TrainReport report;
+};
+
+PathResult run_path(const kge::Dataset& dataset, core::TrainConfig config,
+                    bool block_kernels) {
+  config.block_kernels = block_kernels;
+  PathResult result;
+  result.report = bench::run_experiment(dataset, std::move(config));
+  result.compute_cpu_seconds = result.report.compute_cpu_seconds;
+  result.wall_seconds = result.report.wall_seconds;
+  result.epochs = result.report.epochs;
+  const double positives =
+      static_cast<double>(dataset.train().size()) * result.epochs;
+  result.throughput = result.compute_cpu_seconds > 0.0
+                          ? positives / result.compute_cpu_seconds
+                          : 0.0;
+  return result;
+}
+
+bool models_identical(const kge::KgeModel& a, const kge::KgeModel& b) {
+  const auto ea = a.entities().flat();
+  const auto eb = b.entities().flat();
+  const auto ra = a.relations().flat();
+  const auto rb = b.relations().flat();
+  return ea.size() == eb.size() && ra.size() == rb.size() &&
+         std::memcmp(ea.data(), eb.data(), ea.size_bytes()) == 0 &&
+         std::memcmp(ra.data(), rb.data(), ra.size_bytes()) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::parse_options(argc, argv, "fb250k", {8});
+  const util::ArgParser extra(argc, argv);
+  const std::string bench_json = extra.get_string("bench-json", "");
+  // Fixed short runs: throughput needs identical work per path, not
+  // convergence. Overridable the usual way (--max-epochs / --rank).
+  if (!extra.has_flag("max-epochs")) options.max_epochs = 4;
+  if (!extra.has_flag("rank")) options.rank = 32;
+  // Default to the acceptance regime: fb250k_mini at 8 simulated ranks.
+  if (!extra.has_flag("scale")) options.scale = "mini";
+
+  const kge::Dataset dataset = bench::make_dataset(options);
+  bench::print_banner(
+      "Training kernels: scalar reference vs blocked (batched) hot path",
+      "blocked kernels change throughput only — final embeddings are "
+      "byte-identical to the scalar path under every strategy",
+      options, dataset);
+
+  const int ranks = static_cast<int>(options.nodes.back());
+  struct Config {
+    const char* name;
+    core::StrategyConfig strategy;
+  };
+  const Config configs[] = {
+      {"baseline",
+       core::StrategyConfig::baseline_allreduce(options.baseline_negatives)},
+      {"combined",
+       core::StrategyConfig::drs_1bit_rp_ss(options.ss_sampled,
+                                            options.ss_used)},
+  };
+
+  util::Table table({"config", "path", "epochs", "compute_cpu_s",
+                     "positives_per_cpu_s", "speedup", "byte_identical"});
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("train");
+  json.key("dataset").value(options.dataset + "/" + options.scale);
+  json.key("nodes").value(static_cast<std::int64_t>(ranks));
+  json.key("rank").value(static_cast<std::int64_t>(options.rank));
+
+  bool all_identical = true;
+  for (const Config& config : configs) {
+    core::TrainConfig train = bench::make_config(options, ranks);
+    train.strategy = config.strategy;
+    train.max_epochs = options.max_epochs;
+    // Plateau stops would let the two paths retire different epoch counts
+    // on measurement noise; pin the work instead.
+    train.lr.tolerance = options.max_epochs + 1;
+    train.compute_final_metrics = false;
+    train.valid_max_triples = 50;
+
+    const PathResult scalar = run_path(dataset, train, false);
+    const PathResult blocked = run_path(dataset, train, true);
+    const bool identical =
+        models_identical(*scalar.report.model, *blocked.report.model);
+    all_identical = all_identical && identical;
+    const double speedup = scalar.compute_cpu_seconds > 0.0
+                               ? scalar.compute_cpu_seconds /
+                                     blocked.compute_cpu_seconds
+                               : 0.0;
+
+    table.begin_row()
+        .add(config.name)
+        .add("scalar")
+        .add(static_cast<std::int64_t>(scalar.epochs))
+        .add(scalar.compute_cpu_seconds, 3)
+        .add(scalar.throughput, 0)
+        .add(1.0, 2)
+        .add(identical ? "yes" : "NO");
+    table.begin_row()
+        .add(config.name)
+        .add("blocked")
+        .add(static_cast<std::int64_t>(blocked.epochs))
+        .add(blocked.compute_cpu_seconds, 3)
+        .add(blocked.throughput, 0)
+        .add(speedup, 2)
+        .add(identical ? "yes" : "NO");
+
+    json.key(config.name).begin_object();
+    json.key("scalar_cpu_seconds").value(scalar.compute_cpu_seconds);
+    json.key("blocked_cpu_seconds").value(blocked.compute_cpu_seconds);
+    json.key("scalar_throughput").value(scalar.throughput);
+    json.key("blocked_throughput").value(blocked.throughput);
+    json.key("speedup").value(speedup);
+    json.key("epochs").value(static_cast<std::int64_t>(blocked.epochs));
+    json.key("byte_identical").value(identical);
+    json.end_object();
+  }
+  json.key("byte_identical").value(all_identical);
+  json.end_object();
+
+  bench::emit(table, "Scalar vs blocked training kernels", options.csv);
+
+  if (!bench_json.empty()) {
+    std::ofstream out(bench_json);
+    out << json.str() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "[bench] failed to write %s\n",
+                   bench_json.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[bench] wrote %s\n", bench_json.c_str());
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "[bench] FAIL: blocked path diverged from the scalar "
+                 "reference\n");
+    return 1;
+  }
+  return 0;
+}

@@ -32,17 +32,19 @@ void GradExchange::apply_error_feedback(
     const RowCodec& codec, util::Rng& rng) {
   // Fold stored residuals into this step's gradient, then store the new
   // quantization error. Residuals for rows not touched this step stay
-  // put and flow in whenever the row next appears.
-  const std::vector<std::int32_t> ids = local.sorted_ids();
-  std::vector<float> quantized(static_cast<std::size_t>(codec.width()));
-  for (const std::int32_t id : ids) {
-    auto row = local.row(id);
-    const auto it = residual.find(id);
+  // put and flow in whenever the row next appears. No rows are created or
+  // erased inside the loop, so the cached slot list (and the arena
+  // offsets in it) stays valid throughout.
+  quantized_scratch_.resize(static_cast<std::size_t>(codec.width()));
+  const std::span<float> quantized(quantized_scratch_);
+  for (const kge::SparseGrad::SlotRef& slot : local.sorted_slots()) {
+    auto row = local.row_at(slot.offset);
+    const auto it = residual.find(slot.id);
     if (it != residual.end()) {
       for (std::size_t i = 0; i < row.size(); ++i) row[i] += it->second[i];
     }
-    codec.quantized_values(row, quantized, rng);
-    auto& stored = residual[id];
+    codec.quantized_values(row, quantized, codec_scratch_, rng);
+    auto& stored = residual[slot.id];
     stored.resize(row.size());
     for (std::size_t i = 0; i < row.size(); ++i) {
       stored[i] = row[i] - quantized[i];
@@ -60,14 +62,14 @@ std::size_t GradExchange::exchange_matrix(
     apply_error_feedback(local, *residual, codec, rng);
   }
 
-  std::vector<std::byte> encoded;
+  std::vector<std::byte>& encoded = encode_scratch_;
   {
     const obs::TraceSpan span(trace_, "quantize.encode", trace_tid_);
     codec.encode_grad(local, encoded, rng);
   }
 
-  std::vector<std::byte> gathered;
-  std::vector<std::size_t> counts;
+  std::vector<std::byte>& gathered = gather_scratch_;
+  std::vector<std::size_t>& counts = count_scratch_;
   // The in-process transport is always a gather of encoded rows; what
   // differs per mode is the *modeled* collective the clock is charged for:
   //  - all-gather: the real encoded volume, charged by the collective;

@@ -113,6 +113,15 @@ class GradExchange {
   std::size_t relation_dense_bytes_;
   std::unordered_map<std::int32_t, std::vector<float>> entity_residual_;
   std::unordered_map<std::int32_t, std::vector<float>> relation_residual_;
+
+  // Reused hot-path buffers: error feedback runs per gradient row per
+  // step, and both the encoded wire buffers and the dequantized row are
+  // steady-state sized, so after warm-up nothing here allocates.
+  std::vector<float> quantized_scratch_;
+  std::vector<std::byte> codec_scratch_;
+  std::vector<std::byte> encode_scratch_;
+  std::vector<std::byte> gather_scratch_;
+  std::vector<std::size_t> count_scratch_;
 };
 
 }  // namespace dynkge::core

@@ -7,6 +7,8 @@
 // mining informative negatives; "n out of n" recovers the baseline.
 #pragma once
 
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/strategy_config.hpp"
@@ -24,5 +26,28 @@ int select_hard_negatives(const kge::KgeModel& model,
                           const kge::NegativeSampler& sampler,
                           const kge::Triple& positive, int sampled, int used,
                           util::Rng& rng, kge::TripleList& out);
+
+/// Reusable buffers for select_hard_negatives_block (one per rank; reused
+/// across steps so the hot path allocates only while a batch grows past
+/// every previous batch).
+struct HardNegativeScratch {
+  kge::TripleList candidates;
+  std::vector<double> scores;
+  std::vector<std::pair<double, kge::Triple>> scored;
+};
+
+/// Blocked form of select_hard_negatives over a whole batch of positives:
+/// per positive the same corruption draws in the same RNG order, but the
+/// forward passes for all candidates of the batch run through one
+/// score_triples_block call. Appends the selected negatives to `out` and
+/// pushes each positive's end offset into `offsets` (whose existing
+/// contents are kept, matching the trainer's `negative_offsets` shape).
+/// Byte-identical selection to calling select_hard_negatives per positive.
+/// Returns the total number of forward-pass scores computed.
+std::size_t select_hard_negatives_block(
+    const kge::KgeModel& model, const kge::NegativeSampler& sampler,
+    std::span<const kge::Triple> positives, int sampled, int used,
+    util::Rng& rng, kge::TripleList& out, std::vector<std::size_t>& offsets,
+    HardNegativeScratch& scratch);
 
 }  // namespace dynkge::core

@@ -1,6 +1,9 @@
 #include "core/quantize.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -111,7 +114,14 @@ void RowCodec::encode(std::int32_t id, std::span<const float> row,
       for (std::int32_t i = 0; i < width_; ++i) {
         std::uint8_t code = 0;  // zero
         if (scale > 0.0f) {
-          const double p = std::fabs(row[i]) / scale;  // min(1, .) implicit
+          // Explicit clamp: elements with |v| >= scale (common — scale is
+          // the row *mean*) must keep with probability exactly 1. The
+          // clamp is byte-identical to passing the raw ratio because
+          // next_bernoulli(p) is next_double() < p with next_double() in
+          // [0, 1), but an out-of-range probability is a latent bug if
+          // the Bernoulli implementation ever changes.
+          const double p =
+              std::min(1.0, static_cast<double>(std::fabs(row[i]) / scale));
           if (rng.next_bernoulli(p)) code = row[i] >= 0.0f ? 1 : 2;
         }
         codes |= static_cast<std::uint8_t>(code << (2 * filled));
@@ -162,7 +172,13 @@ std::int32_t RowCodec::decode(std::span<const std::byte> in,
       return id;
     }
   }
-  return id;
+  // Exhaustive switch above — reaching here means mode_ holds a value
+  // outside the enum (memory corruption or an unhandled new mode). The
+  // previous fallthrough silently returned the id with `values` untouched,
+  // which would poison the gradient merge; fail loudly instead.
+  std::fprintf(stderr, "RowCodec::decode: unhandled QuantMode %d\n",
+               static_cast<int>(mode_));
+  std::abort();
 }
 
 void RowCodec::encode_grad(const kge::SparseGrad& grad,
@@ -171,10 +187,14 @@ void RowCodec::encode_grad(const kge::SparseGrad& grad,
   if (grad.width() != width_) {
     throw std::invalid_argument("RowCodec::encode_grad: width mismatch");
   }
+  // Block form: one pre-sized buffer, rows resolved through sorted_slots()
+  // (one arena access each) instead of sorted_ids() + row(id) (one hash
+  // lookup each). Iteration order — and therefore the 2-bit mode's RNG
+  // draw order — is unchanged: ascending id.
   out.clear();
   out.reserve(grad.num_rows() * bytes_per_row_);
-  for (const std::int32_t id : grad.sorted_ids()) {
-    encode(id, grad.row(id), out, rng);
+  for (const kge::SparseGrad::SlotRef& slot : grad.sorted_slots()) {
+    encode(slot.id, grad.row_at(slot.offset), out, rng);
   }
 }
 
@@ -184,22 +204,59 @@ void RowCodec::decode_accumulate(std::span<const std::byte> in,
     throw std::invalid_argument(
         "RowCodec::decode_accumulate: buffer is not a whole number of rows");
   }
-  std::vector<float> values(static_cast<std::size_t>(width_));
+  // Decode straight into the accumulator rows — no per-call temp vector
+  // and no separate add pass. Each element adds the exact value decode()
+  // would have produced (including +0.0f for a 2-bit zero code, so a
+  // -0.0f accumulator element is still normalized the way the two-pass
+  // path did it).
   for (std::size_t offset = 0; offset < in.size();
        offset += bytes_per_row_) {
-    const std::int32_t id =
-        decode(in.subspan(offset, bytes_per_row_), values);
+    const std::byte* p = in.data() + offset;
+    const auto id = read_as<std::int32_t>(p);
+    p += sizeof(std::int32_t);
     auto row = accumulator.accumulate(id);
-    for (std::size_t i = 0; i < values.size(); ++i) row[i] += values[i];
+    switch (mode_) {
+      case QuantMode::kNone: {
+        for (std::int32_t i = 0; i < width_; ++i) {
+          row[i] += read_as<float>(p + static_cast<std::size_t>(i) *
+                                           sizeof(float));
+        }
+        break;
+      }
+      case QuantMode::kOneBit: {
+        const auto scale = read_as<float>(p);
+        p += sizeof(float);
+        for (std::int32_t i = 0; i < width_; ++i) {
+          const auto bits = static_cast<std::uint8_t>(p[i / 8]);
+          const bool positive = (bits >> (i % 8)) & 1u;
+          row[i] += positive ? scale : -scale;
+        }
+        break;
+      }
+      case QuantMode::kTwoBit: {
+        const auto scale = read_as<float>(p);
+        p += sizeof(float);
+        for (std::int32_t i = 0; i < width_; ++i) {
+          const auto codes = static_cast<std::uint8_t>(p[i / 4]);
+          const std::uint8_t code = (codes >> (2 * (i % 4))) & 3u;
+          row[i] += code == 0 ? 0.0f : (code == 1 ? scale : -scale);
+        }
+        break;
+      }
+    }
   }
 }
 
 void RowCodec::quantized_values(std::span<const float> in,
-                                std::span<float> out, util::Rng& rng) const {
-  std::vector<std::byte> buffer;
-  buffer.reserve(bytes_per_row_);
-  encode(0, in, buffer, rng);
-  decode(buffer, out);
+                                std::span<float> out,
+                                std::vector<std::byte>& scratch,
+                                util::Rng& rng) const {
+  // `scratch` is caller-owned so the error-feedback loop (one call per
+  // gradient row per step) stops heap-allocating: after the first call
+  // the buffer's capacity is bytes_per_row() and clear() is free.
+  scratch.clear();
+  encode(0, in, scratch, rng);
+  decode(scratch, out);
 }
 
 }  // namespace dynkge::core

@@ -59,8 +59,11 @@ class RowCodec {
                          kge::SparseGrad& accumulator) const;
 
   /// out = decode(encode(in)) without serialization overhead; used to
-  /// compute the quantization residual for error feedback.
+  /// compute the quantization residual for error feedback. `scratch` is a
+  /// caller-provided reusable buffer (this runs once per gradient row per
+  /// step — a per-call allocation here was a measurable hot-path cost).
   void quantized_values(std::span<const float> in, std::span<float> out,
+                        std::vector<std::byte>& scratch,
                         util::Rng& rng) const;
 
  private:

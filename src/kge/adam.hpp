@@ -38,6 +38,19 @@ class RowAdam {
   void update_row(std::int32_t row, std::span<const float> grad,
                   EmbeddingMatrix& params);
 
+  /// Blocked form (adam_block.cpp): apply one Adam update per row of
+  /// `grads`, in ascending id order — byte-identical to calling update_row
+  /// for each sorted id, but without the per-row hash lookups and with a
+  /// vectorizable inner loop (the TU drops libm errno).
+  void update_rows(const SparseGrad& grads, EmbeddingMatrix& params);
+
+  /// update_rows after scaling every gradient row by `scale` in place
+  /// (the relation-partition path divides the local gradient by the node
+  /// count before the update; scaling mutates `grads` exactly like the
+  /// scalar path does).
+  void update_rows_scaled(SparseGrad& grads, float scale,
+                          EmbeddingMatrix& params);
+
   double learning_rate() const { return config_.learning_rate; }
   void set_learning_rate(double lr) { config_.learning_rate = lr; }
   const AdamConfig& config() const { return config_; }

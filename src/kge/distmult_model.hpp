@@ -27,6 +27,13 @@ class DistMultModel final : public KgeModel {
   void accumulate_gradients(EntityId h, RelationId r, EntityId t, float coeff,
                             ModelGrads& grads) const override;
 
+  // Blocked training kernels (src/kge/block_kernels.cpp).
+  void score_triples_block(std::span<const Triple> triples,
+                           std::span<double> out) const override;
+  void accumulate_gradients_block(std::span<const GradWork> work,
+                                  ModelGrads& grads) const override;
+  bool has_block_kernels() const override { return true; }
+
   void score_tails_block(EntityId h, RelationId r, EntityId begin,
                          std::span<double> out) const override;
   void score_heads_block(RelationId r, EntityId t, EntityId begin,

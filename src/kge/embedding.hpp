@@ -93,6 +93,20 @@ class SparseGrad {
     return {arena_.data() + it->second, static_cast<std::size_t>(width_)};
   }
 
+  /// Arena offset of the row for `id`, created zero-filled on first touch.
+  /// Offsets — unlike the spans accumulate() returns — stay valid across
+  /// later row creations, so the blocked gradient path records offsets
+  /// while the arena is still growing and resolves pointers once per
+  /// batch afterwards.
+  std::size_t accumulate_offset(std::int32_t id) {
+    const auto [it, inserted] = slots_.try_emplace(id, arena_.size());
+    if (inserted) {
+      arena_.resize(arena_.size() + width_, 0.0f);
+      ids_dirty_ = true;
+    }
+    return it->second;
+  }
+
   /// Existing row for `id`; throws if absent.
   std::span<const float> row(std::int32_t id) const {
     const auto it = slots_.find(id);
@@ -109,15 +123,33 @@ class SparseGrad {
     return {arena_.data() + it->second, static_cast<std::size_t>(width_)};
   }
 
+  /// (id, arena offset) of a live row; see sorted_slots().
+  struct SlotRef {
+    std::int32_t id;
+    std::size_t offset;
+  };
+
+  /// Rows in ascending id order with their arena offsets (cached;
+  /// invalidated by new rows and erases). The blocked kernels iterate this
+  /// instead of sorted_ids() + row(id), replacing one hash lookup per row
+  /// with a direct arena access.
+  const std::vector<SlotRef>& sorted_slots() const {
+    refresh_caches();
+    return sorted_slots_;
+  }
+
+  /// Row at an arena offset taken from sorted_slots(). Valid until the
+  /// next accumulate() that grows the arena, or clear().
+  std::span<const float> row_at(std::size_t offset) const {
+    return {arena_.data() + offset, static_cast<std::size_t>(width_)};
+  }
+  std::span<float> row_at(std::size_t offset) {
+    return {arena_.data() + offset, static_cast<std::size_t>(width_)};
+  }
+
   /// Row ids in ascending order (cached; invalidated by new rows).
   const std::vector<std::int32_t>& sorted_ids() const {
-    if (ids_dirty_) {
-      sorted_ids_.clear();
-      sorted_ids_.reserve(slots_.size());
-      for (const auto& [id, _] : slots_) sorted_ids_.push_back(id);
-      std::sort(sorted_ids_.begin(), sorted_ids_.end());
-      ids_dirty_ = false;
-    }
+    refresh_caches();
     return sorted_ids_;
   }
 
@@ -126,6 +158,7 @@ class SparseGrad {
     slots_.clear();
     arena_.clear();
     sorted_ids_.clear();
+    sorted_slots_.clear();
     ids_dirty_ = false;
   }
 
@@ -141,10 +174,26 @@ class SparseGrad {
   }
 
  private:
+  void refresh_caches() const {
+    if (!ids_dirty_) return;
+    sorted_slots_.clear();
+    sorted_slots_.reserve(slots_.size());
+    for (const auto& [id, offset] : slots_) {
+      sorted_slots_.push_back({id, offset});
+    }
+    std::sort(sorted_slots_.begin(), sorted_slots_.end(),
+              [](const SlotRef& a, const SlotRef& b) { return a.id < b.id; });
+    sorted_ids_.clear();
+    sorted_ids_.reserve(sorted_slots_.size());
+    for (const SlotRef& slot : sorted_slots_) sorted_ids_.push_back(slot.id);
+    ids_dirty_ = false;
+  }
+
   std::int32_t width_ = 0;
   std::unordered_map<std::int32_t, std::size_t> slots_;
   std::vector<float> arena_;
   mutable std::vector<std::int32_t> sorted_ids_;
+  mutable std::vector<SlotRef> sorted_slots_;
   mutable bool ids_dirty_ = false;
 };
 

@@ -2,6 +2,22 @@
 
 namespace dynkge::kge {
 
+void KgeModel::score_triples_block(std::span<const Triple> triples,
+                                   std::span<double> out) const {
+  for (std::size_t i = 0; i < triples.size(); ++i) {
+    out[i] = score(triples[i].head, triples[i].relation, triples[i].tail);
+  }
+}
+
+void KgeModel::accumulate_gradients_block(std::span<const GradWork> work,
+                                          ModelGrads& grads) const {
+  // Reference path: the rows already exist, so accumulate_gradients only
+  // re-resolves them; arithmetic and order are the scalar path's.
+  for (const GradWork& w : work) {
+    accumulate_gradients(w.h, w.r, w.t, w.coeff, grads);
+  }
+}
+
 void KgeModel::score_tails_block(EntityId h, RelationId r, EntityId begin,
                                  std::span<double> out) const {
   for (std::size_t i = 0; i < out.size(); ++i) {

@@ -32,6 +32,21 @@ struct ModelGrads {
   }
 };
 
+/// One gradient-accumulation work item of a blocked batch: the triple, the
+/// upstream loss derivative, and the three *pre-resolved* gradient rows
+/// (direct arena pointers, so the per-example hash lookups of the scalar
+/// path disappear). The rows must already exist and stay stable for the
+/// duration of the block call; gh and gt alias when h == t.
+struct GradWork {
+  EntityId h = 0;
+  RelationId r = 0;
+  EntityId t = 0;
+  float coeff = 0.0f;  ///< dLoss/dphi, already averaged over the batch
+  float* gh = nullptr;
+  float* gr = nullptr;
+  float* gt = nullptr;
+};
+
 class KgeModel {
  public:
   KgeModel(std::int32_t num_entities, std::int32_t num_relations,
@@ -55,6 +70,29 @@ class KgeModel {
   /// `coeff` is the upstream derivative dLoss/dphi.
   virtual void accumulate_gradients(EntityId h, RelationId r, EntityId t,
                                     float coeff, ModelGrads& grads) const = 0;
+
+  /// out[i] = phi(triples[i]) — the training-side blocked scoring kernel.
+  /// The default loops over score(); the built-in models override with
+  /// ILP forms (four independent accumulation chains) that are
+  /// bit-identical per triple to score(). Scoring is side-effect free and
+  /// consumes no RNG, so callers may batch freely without changing the
+  /// determinism contract.
+  virtual void score_triples_block(std::span<const Triple> triples,
+                                   std::span<double> out) const;
+
+  /// Accumulate gradients for a block of work items, processed strictly in
+  /// order (items may share rows). Overrides must keep each item's
+  /// per-element arithmetic and per-memory-location accumulation order
+  /// identical to accumulate_gradients; when w.gh == w.gt (h == t) the
+  /// scalar statement interleaving must be preserved exactly. `grads` is
+  /// the accumulator the work rows point into (used by the default, which
+  /// falls back to accumulate_gradients per item).
+  virtual void accumulate_gradients_block(std::span<const GradWork> work,
+                                          ModelGrads& grads) const;
+
+  /// True when score_triples_block / accumulate_gradients_block are real
+  /// blocked kernels rather than the scalar-loop defaults.
+  virtual bool has_block_kernels() const { return false; }
 
   /// out[i] = phi(h, r, begin + i) for i in [0, out.size()); requires
   /// begin + out.size() <= num_entities(). The blocked form is the virtual

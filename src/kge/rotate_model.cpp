@@ -7,8 +7,7 @@ namespace dynkge::kge {
 namespace {
 
 constexpr float kPi = 3.14159265358979323846f;
-/// Keeps the modulus gradient finite at zero distance.
-constexpr double kEpsilon = 1e-12;
+constexpr double kEpsilon = RotatEModel::kEpsilon;
 
 }  // namespace
 

@@ -32,6 +32,13 @@ class TransEModel final : public KgeModel {
   void accumulate_gradients(EntityId h, RelationId r, EntityId t, float coeff,
                             ModelGrads& grads) const override;
 
+  // Blocked training kernels (src/kge/block_kernels.cpp).
+  void score_triples_block(std::span<const Triple> triples,
+                           std::span<double> out) const override;
+  void accumulate_gradients_block(std::span<const GradWork> work,
+                                  ModelGrads& grads) const override;
+  bool has_block_kernels() const override { return true; }
+
  private:
   std::int32_t rank_;
   float gamma_;

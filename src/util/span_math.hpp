@@ -1,14 +1,35 @@
 // Small dense-vector kernels used throughout the KGE models and optimizers.
 //
-// These are deliberately plain loops: the vectors involved are embedding
-// rows (tens to hundreds of floats), where the compiler's auto-vectorizer
-// does as well as hand-tuned intrinsics and the code stays portable.
+// Kernel design notes (see DESIGN.md "Blocked training kernels"):
+//
+//  * Loop shapes, not intrinsics. Every kernel is a plain loop written so
+//    the auto-vectorizer can do the work: independent elementwise ops, no
+//    loop-carried dependence except explicit accumulation chains, span
+//    sizes hoisted out of the condition. What actually blocks
+//    vectorization in this codebase is not missing intrinsics but libm
+//    errno side effects (std::sqrt) — the blocked-kernel translation
+//    units are compiled with -fno-math-errno (value-safe: IEEE results
+//    are unchanged) to lift that; see src/kge/CMakeLists.txt.
+//
+//  * Determinism contract. Reduction kernels (dot, nrm2, asum, the
+//    trilinear forms) accumulate in double along a single left-to-right
+//    chain and must never be reassociated: the trainer's byte-identity
+//    guarantees depend on every mode producing the same accumulation
+//    order. Throughput across *rows* comes from instruction-level
+//    parallelism instead: the *_dot4 / *_l1_4 forms run four independent
+//    row-triples at once, one accumulator chain per triple, each chain
+//    ordered exactly like its scalar sibling.
+//
+//  * No FMA contraction. The build targets baseline x86-64 (no -mfma), so
+//    a*b+c compiles to mul+add and the blocked kernels stay bit-identical
+//    to the scalar reference path.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 namespace dynkge::util {
@@ -32,6 +53,78 @@ inline void axpy(float a, std::span<const float> x, std::span<float> y) noexcept
 /// x *= a
 inline void scale(float a, std::span<float> x) noexcept {
   for (auto& v : x) v *= a;
+}
+
+/// y += x
+inline void add(std::span<const float> x, std::span<float> y) noexcept {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += x[i];
+}
+
+/// out = x - y (elementwise; sizes must match).
+inline void diff(std::span<const float> x, std::span<const float> y,
+                 std::span<float> out) noexcept {
+  assert(x.size() == y.size() && x.size() == out.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+}
+
+/// sum_i a[i] * b[i] * c[i] — the DistMult score form. Per-element product
+/// order matches the scalar model code: (double(a) * b) * c.
+inline double trilinear_dot(const float* a, const float* b, const float* c,
+                            std::int32_t n) noexcept {
+  double acc = 0.0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * b[i] * c[i];
+  }
+  return acc;
+}
+
+/// Four independent trilinear dots at once (ILP form): out[j] is
+/// bit-identical to trilinear_dot(a[j], b[j], c[j], n) — four separate
+/// accumulation chains, each in the scalar order.
+inline void trilinear_dot4(const float* const a[4], const float* const b[4],
+                           const float* const c[4], std::int32_t n,
+                           double out[4]) noexcept {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    acc0 += static_cast<double>(a[0][i]) * b[0][i] * c[0][i];
+    acc1 += static_cast<double>(a[1][i]) * b[1][i] * c[1][i];
+    acc2 += static_cast<double>(a[2][i]) * b[2][i] * c[2][i];
+    acc3 += static_cast<double>(a[3][i]) * b[3][i] * c[3][i];
+  }
+  out[0] = acc0;
+  out[1] = acc1;
+  out[2] = acc2;
+  out[3] = acc3;
+}
+
+/// sum_i |h[i] + r[i] - t[i]| — the TransE L1 translation distance, with
+/// the scalar model's per-element order: double(h) + r - t.
+inline double l1_translation(const float* h, const float* r, const float* t,
+                             std::int32_t n) noexcept {
+  double acc = 0.0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    acc += std::fabs(static_cast<double>(h[i]) + r[i] - t[i]);
+  }
+  return acc;
+}
+
+/// Four independent L1 translation distances (ILP form); each chain is
+/// bit-identical to l1_translation on its row triple.
+inline void l1_translation4(const float* const h[4], const float* const r[4],
+                            const float* const t[4], std::int32_t n,
+                            double out[4]) noexcept {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    acc0 += std::fabs(static_cast<double>(h[0][i]) + r[0][i] - t[0][i]);
+    acc1 += std::fabs(static_cast<double>(h[1][i]) + r[1][i] - t[1][i]);
+    acc2 += std::fabs(static_cast<double>(h[2][i]) + r[2][i] - t[2][i]);
+    acc3 += std::fabs(static_cast<double>(h[3][i]) + r[3][i] - t[3][i]);
+  }
+  out[0] = acc0;
+  out[1] = acc1;
+  out[2] = acc2;
+  out[3] = acc3;
 }
 
 /// Euclidean norm.

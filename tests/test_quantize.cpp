@@ -165,6 +165,27 @@ TEST(RowCodec, TwoBitValuesAreTernary) {
   }
 }
 
+TEST(RowCodec, TwoBitAlwaysKeepsComponentsAtOrAboveScale) {
+  // Regression for the sampling-probability clamp: components with
+  // |v| >= scale (scale is the row *mean*, so every row that isn't
+  // constant has some) must be kept with probability exactly 1 — a
+  // nonzero code of the right sign under every RNG stream, never a
+  // stochastic drop.
+  const RowCodec codec(QuantMode::kTwoBit, OneBitScale::kMax, 4);
+  const std::vector<float> row{4.0f, -6.0f, 0.5f, -0.25f};
+  const float scale = util::amean(row);  // 2.6875; |row[0]|, |row[1]| above
+  std::vector<std::byte> buffer;
+  std::vector<float> decoded(4);
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    util::Rng rng(seed);
+    buffer.clear();
+    codec.encode(0, row, buffer, rng);
+    codec.decode(buffer, decoded);
+    EXPECT_FLOAT_EQ(decoded[0], scale) << "seed " << seed;
+    EXPECT_FLOAT_EQ(decoded[1], -scale) << "seed " << seed;
+  }
+}
+
 TEST(RowCodec, TwoBitIsUnbiasedInExpectation) {
   // E[decoded_i] = sign * scale * min(1, |v_i|/scale) = v_i (for
   // |v_i| <= scale). Average many stochastic encodings.
@@ -246,7 +267,8 @@ TEST(RowCodec, QuantizedValuesMatchesEncodeDecode) {
   const auto row = test_row();
   util::Rng rng(1);
   std::vector<float> via_helper(8);
-  codec.quantized_values(row, via_helper, rng);
+  std::vector<std::byte> scratch;
+  codec.quantized_values(row, via_helper, scratch, rng);
   std::vector<std::byte> buffer;
   util::Rng rng2(1);
   codec.encode(0, row, buffer, rng2);

@@ -1,21 +1,25 @@
 #!/usr/bin/env python3
-"""Gate serve-bench results against a committed baseline.
+"""Gate bench results against a committed baseline.
 
 Usage:
     tools/check_bench.py BENCH_serve.json [BENCH_serve.baseline.json]
         [--tolerance 0.10]
+    tools/check_bench.py BENCH_train.json BENCH_train.baseline.json
 
-Reads the JSON written by `dynkge serve-bench --bench-json` and compares a
-set of gated metrics against the committed baseline. Exit 0 when every
-gate holds, 1 on any regression (or malformed input).
+Reads the JSON written by `dynkge serve-bench --bench-json` or by
+`bench_kernels --bench-json` and compares a set of gated metrics against
+the committed baseline. The gate set is selected by the result's "bench"
+field ("serve" when absent, for older baselines). Exit 0 when every gate
+holds, 1 on any regression (or malformed input).
 
 Gate design: correctness metrics (failed requests under churn, versions
-published, cache hit rate) are tight — they are deterministic for a seeded
-stream, so the default 10% tolerance applies and failed_requests must be
-exactly zero. Timing metrics (QPS, p99) get wide per-metric tolerances:
-shared CI runners jitter by integer factors, and the gate should catch
-"the serve path got 10x slower", not scheduler noise. A tighter local run
-against the same baseline still reports the precise deltas.
+published, cache hit rate, kernel byte-identity) are tight — they are
+deterministic for a seeded stream, so the default 10% tolerance applies
+and exact gates must match bit-for-bit. Timing metrics (QPS, p99,
+throughput, speedup) get wide per-metric tolerances: shared CI runners
+jitter by integer factors, and the gate should catch "the hot path got
+10x slower", not scheduler noise. A tighter local run against the same
+baseline still reports the precise deltas.
 """
 
 import argparse
@@ -26,7 +30,7 @@ import sys
 # direction "higher": current >= baseline * (1 - tol)
 # direction "lower":  current <= baseline * (1 + tol)
 # direction "exact":  current == baseline
-GATES = [
+SERVE_GATES = [
     ("steady.cache_hit_rate", "higher", None),
     ("steady.qps", "higher", 0.90),
     ("steady.p99_seconds", "lower", 9.0),
@@ -36,6 +40,24 @@ GATES = [
     ("churn.failed_requests", "exact", None),
     ("baseline_scan_qps", "higher", 0.90),
 ]
+
+# Training-kernel bench (bench_kernels --bench-json). byte_identical is the
+# blocked path's core contract and gates exactly. The speedups are ratios
+# of compute-CPU-seconds measured back to back in one process on one host,
+# so they are far more stable than absolute throughput — they still get a
+# generous band because CPU-frequency scaling on shared runners moves the
+# scalar and blocked halves of the ratio independently.
+TRAIN_GATES = [
+    ("byte_identical", "exact", None),
+    ("baseline.byte_identical", "exact", None),
+    ("combined.byte_identical", "exact", None),
+    ("baseline.speedup", "higher", 0.30),
+    ("combined.speedup", "higher", 0.30),
+    ("baseline.blocked_throughput", "higher", 0.90),
+    ("combined.blocked_throughput", "higher", 0.90),
+]
+
+GATE_SETS = {"serve": SERVE_GATES, "train": TRAIN_GATES}
 
 
 def lookup(doc, path):
@@ -49,7 +71,16 @@ def lookup(doc, path):
 
 def check(current, baseline, default_tolerance):
     failures = []
-    for path, direction, override in GATES:
+    kind = current.get("bench", "serve")
+    base_kind = baseline.get("bench", "serve")
+    if kind != base_kind:
+        return [f"bench kind mismatch: current is '{kind}', "
+                f"baseline is '{base_kind}'"]
+    gates = GATE_SETS.get(kind)
+    if gates is None:
+        return [f"unknown bench kind '{kind}' "
+                f"(expected one of {sorted(GATE_SETS)})"]
+    for path, direction, override in gates:
         base = lookup(baseline, path)
         cur = lookup(current, path)
         if base is None:
