@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "comm/cost_model.hpp"
+#include "harness/harness.hpp"
 #include "util/argparse.hpp"
 #include "util/table.hpp"
 
@@ -13,9 +14,11 @@ using namespace dynkge;
 namespace {
 
 /// Modeled per-step communication time for both transports given the
-/// dense matrix size and the per-rank non-zero row volume.
+/// dense matrix size and the per-rank non-zero row volume. Pure alpha-beta
+/// arithmetic, so the emitted metrics are exactly reproducible.
 void crossover_table(const comm::CostModel& model, std::size_t dense_bytes,
                      std::size_t row_bytes, std::size_t rows_per_rank,
+                     bench::BenchReporter& reporter, const std::string& prefix,
                      util::Table& table) {
   for (const int ranks : {2, 4, 8, 16, 32}) {
     const std::size_t per_rank = rows_per_rank * row_bytes;
@@ -27,6 +30,10 @@ void crossover_table(const comm::CostModel& model, std::size_t dense_bytes,
         .add(reduce * 1e3, 4)
         .add(gather * 1e3, 4)
         .add(gather < reduce ? "allgather" : "allreduce");
+    const std::string key = prefix + ".r" + std::to_string(ranks);
+    reporter.set(key + ".allreduce_ms", reduce * 1e3);
+    reporter.set(key + ".allgather_ms", gather * 1e3);
+    reporter.flag(key + ".allgather_wins", gather < reduce);
   }
 }
 
@@ -35,6 +42,7 @@ void crossover_table(const comm::CostModel& model, std::size_t dense_bytes,
 int main(int argc, char** argv) {
   const util::ArgParser args(argc, argv);
   const bool csv = args.has_flag("csv");
+  bench::BenchReporter reporter("ablation_cost_model", argc, argv);
 
   // FB250K-like dense entity gradient matrix: 240K rows x 200 floats.
   const std::size_t dense = 240000ull * 200ull * 4ull;
@@ -49,14 +57,14 @@ int main(int argc, char** argv) {
   {
     util::Table table({"ranks", "allreduce ms", "allgather ms", "winner"});
     crossover_table(comm::CostModel(comm::CostModelParams::aries()), dense,
-                    raw_row, rows, table);
+                    raw_row, rows, reporter, "aries.raw", table);
     table.print(std::cout, "Aries-like network, raw 32-bit rows:");
     if (csv) std::cout << table.to_csv();
   }
   {
     util::Table table({"ranks", "allreduce ms", "allgather ms", "winner"});
     crossover_table(comm::CostModel(comm::CostModelParams::aries()), dense,
-                    quant_row, rows, table);
+                    quant_row, rows, reporter, "aries.quant", table);
     table.print(std::cout,
                 "Aries-like network, 1-bit quantized rows (32x smaller — "
                 "allgather wins everywhere, which is why the dynamic "
@@ -66,11 +74,11 @@ int main(int argc, char** argv) {
   {
     util::Table table({"ranks", "allreduce ms", "allgather ms", "winner"});
     crossover_table(comm::CostModel(comm::CostModelParams::ethernet()), dense,
-                    raw_row, rows, table);
+                    raw_row, rows, reporter, "ethernet.raw", table);
     table.print(std::cout,
                 "Commodity-Ethernet-like network, raw rows (higher alpha "
                 "and beta shift the crossover):");
     if (csv) std::cout << table.to_csv();
   }
-  return 0;
+  return reporter.write() ? 0 : 1;
 }

@@ -17,6 +17,8 @@ using namespace dynkge;
 
 int main(int argc, char** argv) {
   const auto options = bench::parse_options(argc, argv, "fb15k", {2});
+  bench::BenchReporter reporter("ablation_feedback", argc, argv);
+  reporter.context_from(options);
   const kge::Dataset dataset = bench::make_dataset(options);
   bench::print_banner(
       "Ablation: gradient feedback mechanisms",
@@ -26,26 +28,27 @@ int main(int argc, char** argv) {
 
   struct Variant {
     const char* name;
+    const char* key;  ///< metric-name slug for the --bench-json block
     core::StrategyConfig strategy;
   };
   std::vector<Variant> variants;
   {
     core::StrategyConfig s = core::StrategyConfig::rs(options.baseline_negatives);
-    variants.push_back({"RS", s});
+    variants.push_back({"RS", "rs", s});
     s.selection_residual = true;
-    variants.push_back({"RS + selection residuals", s});
+    variants.push_back({"RS + selection residuals", "rs_residual", s});
   }
   {
     core::StrategyConfig s =
         core::StrategyConfig::rs_1bit(options.baseline_negatives);
-    variants.push_back({"RS+1-bit (max scale)", s});
+    variants.push_back({"RS+1-bit (max scale)", "onebit_max", s});
     s.error_feedback = true;
-    variants.push_back({"RS+1-bit (max) + EF [divergent]", s});
+    variants.push_back({"RS+1-bit (max) + EF [divergent]", "onebit_max_ef", s});
     s.one_bit_scale = core::OneBitScale::kMean;
     s.error_feedback = false;
-    variants.push_back({"RS+1-bit (mean scale)", s});
+    variants.push_back({"RS+1-bit (mean scale)", "onebit_mean", s});
     s.error_feedback = true;
-    variants.push_back({"RS+1-bit (mean) + EF", s});
+    variants.push_back({"RS+1-bit (mean) + EF", "onebit_mean_ef", s});
   }
 
   util::Table table({"variant", "N", "final val", "TCA", "MRR"});
@@ -60,7 +63,13 @@ int main(int argc, char** argv) {
         .add(report.final_val_accuracy, 1)
         .add(report.tca, 1)
         .add(report.ranking.mrr, 3);
+    const std::string key = variant.key;
+    reporter.count(key + ".epochs",
+                   static_cast<std::uint64_t>(report.epochs));
+    reporter.set(key + ".final_val", report.final_val_accuracy);
+    reporter.set(key + ".tca", report.tca);
+    reporter.set(key + ".mrr", report.ranking.mrr);
   }
   bench::emit(table, "Feedback mechanism ablation (2 nodes)", options.csv);
-  return 0;
+  return reporter.write() ? 0 : 1;
 }

@@ -13,6 +13,8 @@ using namespace dynkge;
 int main(int argc, char** argv) {
   const auto options =
       bench::parse_options(argc, argv, "fb250k", {2, 4, 8, 16});
+  bench::BenchReporter reporter("ablation_parameter_server", argc, argv);
+  reporter.context_from(options);
   const kge::Dataset dataset = bench::make_dataset(options);
   bench::print_banner(
       "Ablation: parameter server vs synchronous collectives",
@@ -50,6 +52,14 @@ int main(int argc, char** argv) {
       comm_time[idx] = comm / report.epochs;
       ++idx;
     }
+    const std::string key = "n" + std::to_string(nodes);
+    const char* transports[] = {"param_server", "allreduce", "allgather"};
+    for (int t = 0; t < 3; ++t) {
+      reporter.set(key + "." + transports[t] + ".epoch_seconds",
+                   epoch_time[t]);
+      reporter.set(key + "." + transports[t] + ".comm_seconds",
+                   comm_time[t]);
+    }
     table.begin_row()
         .add(nodes)
         .add(epoch_time[0], 4)
@@ -62,5 +72,5 @@ int main(int argc, char** argv) {
               "Parameter-server bottleneck (per-epoch seconds, fixed 12 "
               "epochs)",
               options.csv);
-  return 0;
+  return reporter.write() ? 0 : 1;
 }

@@ -16,6 +16,7 @@ using namespace dynkge;
 namespace {
 
 void sweep(const bench::HarnessOptions& options, const kge::Dataset& dataset,
+           bench::BenchReporter& reporter, const std::string& prefix,
            util::Table& tt, util::Table& epochs, util::Table& epoch_time) {
   for (const std::int64_t nodes : options.nodes) {
     double tt_row[2], n_row[2], et_row[2];
@@ -32,6 +33,12 @@ void sweep(const bench::HarnessOptions& options, const kge::Dataset& dataset,
       tt_row[allgather] = report.total_sim_seconds;
       n_row[allgather] = report.epochs;
       et_row[allgather] = report.mean_epoch_seconds();
+      const std::string key = prefix + ".n" + std::to_string(nodes) + "." +
+                              (allgather ? "allgather" : "allreduce");
+      reporter.set(key + ".tt_sim_seconds", report.total_sim_seconds);
+      reporter.count(key + ".epochs",
+                     static_cast<std::uint64_t>(report.epochs));
+      reporter.set(key + ".epoch_seconds", report.mean_epoch_seconds());
     }
     tt.begin_row().add(nodes).add(tt_row[0], 3).add(tt_row[1], 3);
     epochs.begin_row()
@@ -45,6 +52,7 @@ void sweep(const bench::HarnessOptions& options, const kge::Dataset& dataset,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchReporter reporter("fig1_baseline_curves", argc, argv);
   // FB15K sweep (figure 1a).
   {
     const auto options =
@@ -57,7 +65,8 @@ int main(int argc, char** argv) {
     util::Table tt({"nodes", "allreduce TT(s)", "allgather TT(s)"});
     util::Table epochs({"nodes", "allreduce N", "allgather N"});
     util::Table epoch_time({"nodes", "allreduce s/epoch", "allgather s/epoch"});
-    sweep(options, dataset, tt, epochs, epoch_time);
+    reporter.context_from(options);
+    sweep(options, dataset, reporter, "fb15k", tt, epochs, epoch_time);
     bench::emit(tt, "Figure 1a (reproduced): TT on FB15K-like", options.csv);
   }
 
@@ -74,7 +83,7 @@ int main(int argc, char** argv) {
     util::Table tt({"nodes", "allreduce TT(s)", "allgather TT(s)"});
     util::Table epochs({"nodes", "allreduce N", "allgather N"});
     util::Table epoch_time({"nodes", "allreduce s/epoch", "allgather s/epoch"});
-    sweep(options, dataset, tt, epochs, epoch_time);
+    sweep(options, dataset, reporter, "fb250k", tt, epochs, epoch_time);
     bench::emit(tt, "Figure 1b (reproduced): TT on FB250K-like", options.csv);
     bench::emit(epochs, "Figure 1c (reproduced): epochs on FB250K-like",
                 options.csv);
@@ -82,5 +91,5 @@ int main(int argc, char** argv) {
                 "Figure 1d (reproduced): epoch time on FB250K-like",
                 options.csv);
   }
-  return 0;
+  return reporter.write() ? 0 : 1;
 }

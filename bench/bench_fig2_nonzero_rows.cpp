@@ -12,6 +12,8 @@ using namespace dynkge;
 
 int main(int argc, char** argv) {
   auto options = bench::parse_options(argc, argv, "fb15k", {2});
+  bench::BenchReporter reporter("fig2_nonzero_rows", argc, argv);
+  reporter.context_from(options);
   const kge::Dataset dataset = bench::make_dataset(options);
   bench::print_banner(
       "Figure 2: non-zero gradient rows vs epoch",
@@ -45,5 +47,10 @@ int main(int argc, char** argv) {
   std::cout << "Shape check: rows/step start=" << first << " end=" << last
             << (last < first ? "  -> decreasing (paper agrees)\n"
                              : "  -> not decreasing\n");
-  return 0;
+  reporter.count("epochs", static_cast<std::uint64_t>(report.epochs));
+  reporter.set("rows_per_step.first_epoch", first);
+  reporter.set("rows_per_step.last_epoch", last);
+  reporter.set("final_val_tca", report.epoch_log.back().val_accuracy);
+  reporter.flag("rows_decreasing", last < first);
+  return reporter.write() ? 0 : 1;
 }

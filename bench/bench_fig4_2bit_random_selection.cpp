@@ -11,6 +11,8 @@ using namespace dynkge;
 
 int main(int argc, char** argv) {
   const auto options = bench::parse_options(argc, argv, "fb15k", {2});
+  bench::BenchReporter reporter("fig4_2bit_random_selection", argc, argv);
+  reporter.context_from(options);
   const kge::Dataset dataset = bench::make_dataset(options);
   bench::print_banner(
       "Figure 4: 2-bit quantization with random selection",
@@ -54,5 +56,16 @@ int main(int argc, char** argv) {
             << (std::abs(reports[0].tca - reports[1].tca) < 3.0
                     ? "  -> curves overlap (paper agrees)\n"
                     : "  -> curves diverge\n");
-  return 0;
+  const char* keys[] = {"twobit", "twobit_rs"};
+  for (int v = 0; v < 2; ++v) {
+    const std::string key = keys[v];
+    reporter.count(key + ".epochs",
+                   static_cast<std::uint64_t>(reports[v].epochs));
+    reporter.set(key + ".tca", reports[v].tca);
+    reporter.set(key + ".mrr", reports[v].ranking.mrr);
+  }
+  reporter.set("tca_delta", std::abs(reports[0].tca - reports[1].tca));
+  reporter.flag("curves_overlap",
+                std::abs(reports[0].tca - reports[1].tca) < 3.0);
+  return reporter.write() ? 0 : 1;
 }

@@ -14,6 +14,8 @@ using namespace dynkge;
 int main(int argc, char** argv) {
   const auto options =
       bench::parse_options(argc, argv, "fb15k", {1, 2, 4, 8});
+  bench::BenchReporter reporter("fig5_quant_1bit_vs_2bit", argc, argv);
+  reporter.context_from(options);
   const kge::Dataset dataset = bench::make_dataset(options);
   bench::print_banner(
       "Figure 5: 1-bit vs 2-bit quantization (with random selection)",
@@ -36,6 +38,12 @@ int main(int argc, char** argv) {
       tt[two_bit] = report.total_sim_seconds;
       mrr[two_bit] = report.ranking.mrr;
       epochs[two_bit] = report.epochs;
+      const std::string key = "n" + std::to_string(nodes) + "." +
+                              (two_bit ? "twobit" : "onebit");
+      reporter.set(key + ".tt_sim_seconds", report.total_sim_seconds);
+      reporter.count(key + ".epochs",
+                     static_cast<std::uint64_t>(report.epochs));
+      reporter.set(key + ".mrr", report.ranking.mrr);
     }
     table.begin_row()
         .add(nodes)
@@ -74,6 +82,8 @@ int main(int argc, char** argv) {
         .add(static_cast<std::int64_t>(report.epochs))
         .add(report.tca, 1)
         .add(report.ranking.mrr, 3);
+    reporter.set(std::string("scale.") + variant.name + ".mrr",
+                 report.ranking.mrr);
     if (report.ranking.mrr > best_mrr) {
       best_mrr = report.ranking.mrr;
       best_name = variant.name;
@@ -85,5 +95,7 @@ int main(int argc, char** argv) {
   std::cout << "Best variant: " << best_name
             << (best_name == "max" ? " (paper agrees: max)\n"
                                    : " (paper picked max)\n");
-  return 0;
+  reporter.context("best_scale", best_name);
+  reporter.flag("best_scale_is_max", best_name == "max");
+  return reporter.write() ? 0 : 1;
 }

@@ -18,6 +18,8 @@ namespace paper = dynkge::bench::paper;
 int main(int argc, char** argv) {
   const auto options =
       bench::parse_options(argc, argv, "fb250k", {1, 2, 4, 8, 16});
+  bench::BenchReporter reporter("fig9_combined_fb250k", argc, argv);
+  reporter.context_from(options);
   const kge::Dataset dataset = bench::make_dataset(options);
   bench::print_banner(
       "Figure 9: combined methods on FB250K-like",
@@ -27,17 +29,18 @@ int main(int argc, char** argv) {
 
   struct Method {
     const char* name;
+    const char* key;  ///< metric-name slug for the --bench-json block
     core::StrategyConfig strategy;
   };
   const std::vector<Method> methods = {
-      {"allreduce",
+      {"allreduce", "allreduce",
        core::StrategyConfig::baseline_allreduce(options.baseline_negatives)},
-      {"allgather",
+      {"allgather", "allgather",
        core::StrategyConfig::baseline_allgather(options.baseline_negatives)},
-      {"DRS", core::StrategyConfig::drs(options.baseline_negatives)},
-      {"DRS+1-bit",
+      {"DRS", "drs", core::StrategyConfig::drs(options.baseline_negatives)},
+      {"DRS+1-bit", "drs_1bit",
        core::StrategyConfig::drs_1bit(options.baseline_negatives)},
-      {"DRS+1-bit+RP+SS",
+      {"DRS+1-bit+RP+SS", "drs_1bit_rp_ss",
        core::StrategyConfig::drs_1bit_rp_ss(options.ss_sampled,
                                             options.ss_used)},
   };
@@ -64,6 +67,12 @@ int main(int argc, char** argv) {
       tt.add(report.total_sim_seconds, 3);
       epochs.add(static_cast<std::int64_t>(report.epochs));
       mrr.add(report.ranking.mrr, 3);
+      const std::string key =
+          "n" + std::to_string(nodes) + "." + method.key;
+      reporter.set(key + ".tt_sim_seconds", report.total_sim_seconds);
+      reporter.count(key + ".epochs",
+                     static_cast<std::uint64_t>(report.epochs));
+      reporter.set(key + ".mrr", report.ranking.mrr);
       if (std::string(method.name) == "allreduce") {
         allreduce_tt_sum += report.total_sim_seconds;
         allreduce_mrr_sum += report.ranking.mrr;
@@ -107,6 +116,11 @@ int main(int argc, char** argv) {
               << "  (paper section 4.3: quantization cuts all-reduce "
                  "communications ~"
               << paper::kAllReduceReductionPct << "%)\n";
+    reporter.set("drs_allreduce_fraction", drs_frac);
+    reporter.set("drs_1bit_allreduce_fraction", quant_frac);
   }
-  return 0;
+  reporter.set("time_reduction_pct", time_reduction);
+  reporter.set("mrr_gain_pct", mrr_gain);
+  reporter.flag("combined_saves_time", time_reduction > 0.0);
+  return reporter.write() ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "harness/micro_main.hpp"
 
 namespace {
 
@@ -80,4 +81,4 @@ BENCHMARK(BM_CostModelAllReduce);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DYNKGE_MICRO_BENCH_MAIN("micro_collectives")

@@ -2,6 +2,8 @@
 // and decode throughput per quantization mode and row width.
 #include <benchmark/benchmark.h>
 
+#include "harness/micro_main.hpp"
+
 #include <vector>
 
 #include "core/quantize.hpp"
@@ -87,4 +89,4 @@ BENCHMARK(BM_EncodeGrad)->Arg(100)->Arg(1000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DYNKGE_MICRO_BENCH_MAIN("micro_quantize")

@@ -3,6 +3,8 @@
 // InferenceService batch path with cold and warm caches.
 #include <benchmark/benchmark.h>
 
+#include "harness/micro_main.hpp"
+
 #include <algorithm>
 #include <memory>
 #include <span>
@@ -144,4 +146,4 @@ BENCHMARK(BM_ServiceBatch)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DYNKGE_MICRO_BENCH_MAIN("serve_throughput")

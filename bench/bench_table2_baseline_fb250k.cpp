@@ -15,6 +15,8 @@ namespace paper = dynkge::bench::paper;
 int main(int argc, char** argv) {
   const auto options =
       bench::parse_options(argc, argv, "fb250k", {1, 2, 4, 8, 16});
+  bench::BenchReporter reporter("table2_baseline_fb250k", argc, argv);
+  reporter.context_from(options);
   const kge::Dataset dataset = bench::make_dataset(options);
   bench::print_banner(
       "Table 2: baseline results on the FB250K-like dataset",
@@ -41,6 +43,13 @@ int main(int argc, char** argv) {
               : core::StrategyConfig::baseline_allreduce(
                     options.baseline_negatives);
       const auto report = bench::run_experiment(dataset, config);
+      const std::string key = "n" + std::to_string(nodes) + "." +
+                              (allgather ? "allgather" : "allreduce");
+      reporter.set(key + ".tt_sim_seconds", report.total_sim_seconds);
+      reporter.count(key + ".epochs",
+                     static_cast<std::uint64_t>(report.epochs));
+      reporter.set(key + ".tca", report.tca);
+      reporter.set(key + ".mrr", report.ranking.mrr);
       table.begin_row()
           .add(nodes)
           .add(report.strategy_label)
@@ -85,5 +94,9 @@ int main(int argc, char** argv) {
             << (crossover_check[1][0] < crossover_check[1][1]
                     ? "  -> allreduce wins (paper agrees)\n"
                     : "  -> allgather wins\n");
-  return 0;
+  reporter.flag("allgather_wins_at_2_nodes",
+                crossover_check[0][1] < crossover_check[0][0]);
+  reporter.flag("allreduce_wins_at_max_nodes",
+                crossover_check[1][0] < crossover_check[1][1]);
+  return reporter.write() ? 0 : 1;
 }

@@ -859,6 +859,12 @@ TrainReport DistributedTrainer::run_attempt(int world_size,
           std::max(1.0, comm.allreduce_scalar(
                             static_cast<double>(loss_count), ScalarOp::kSum));
 
+      // The all-reduce baseline the selector will compare a probe against
+      // — captured before record_epoch overwrites it, and logged so the
+      // offline strategy audit (obs/analysis) can re-derive the decision
+      // without replaying the selector. -1 until the first all-reduce
+      // epoch is recorded.
+      const double probe_baseline = selector.state().last_allreduce_time;
       selector.record_epoch(epoch, epoch_comm);
       scheduler.observe(val_accuracy);
 
@@ -874,6 +880,7 @@ TrainReport DistributedTrainer::run_attempt(int world_size,
             .kv("comm_mode", to_string(strategy.comm))
             .kv("transport", to_string(transport))
             .kv("probe", probe_epoch)
+            .kv("probe_baseline_seconds", probe_baseline)
             .kv("switched_to_allgather", selector.switched_to_allgather())
             .kv("selection", to_string(strategy.selection))
             .kv("keep_rate", rows_before_sum > 0.0

@@ -14,6 +14,13 @@
 
 namespace dynkge::obs {
 
+/// Version stamped into every telemetry artifact this build writes: each
+/// JSONL event line and the trace file's top-level metadata. Consumers
+/// (tools/check_telemetry.py, obs/analysis) reject versions they do not
+/// understand instead of misreading renamed fields. Bump when an existing
+/// field changes meaning; adding fields is backward-compatible.
+inline constexpr int kTelemetrySchemaVersion = 1;
+
 class EventLog {
  public:
   /// Open (truncate) `path` for writing. Throws if it cannot be opened.
@@ -22,7 +29,8 @@ class EventLog {
   EventLog(const EventLog&) = delete;
   EventLog& operator=(const EventLog&) = delete;
 
-  /// Append one JSON object as its own line. `json` must be a complete
+  /// Append one JSON object as its own line, stamping
+  /// `"schema_version":N` as its first field. `json` must be a complete
   /// serialized object without a trailing newline. Thread-safe.
   void write_line(const std::string& json);
 

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/events.hpp"
 #include "util/json_writer.hpp"
 
 namespace dynkge::obs {
@@ -52,6 +53,9 @@ std::string TraceWriter::to_json() const {
   }
   json.end_array();
   json.kv("displayTimeUnit", "ms");
+  // Extra top-level keys are metadata in the Chrome trace format; viewers
+  // ignore them, our own consumers use them to reject incompatible files.
+  json.kv("schema_version", kTelemetrySchemaVersion);
   json.end_object();
   return json.str();
 }

@@ -23,13 +23,21 @@ import argparse
 import json
 import sys
 
+# Telemetry schema versions this checker understands. Artifacts stamped
+# with any other version are rejected outright (a renamed field would
+# otherwise be misread as missing); artifacts without the stamp predate
+# versioning and are accepted.
+KNOWN_SCHEMA_VERSIONS = (1,)
+
 EVENT_KEYS = frozenset(
     [
+        "schema_version",
         "epoch",
         "rank",
         "comm_mode",
         "transport",
         "probe",
+        "probe_baseline_seconds",
         "switched_to_allgather",
         "selection",
         "keep_rate",
@@ -49,6 +57,15 @@ EVENT_KEYS = frozenset(
 def fail(message):
     print(f"check_telemetry: FAIL: {message}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_schema_version(obj, where):
+    version = obj.get("schema_version")
+    if version is not None and version not in KNOWN_SCHEMA_VERSIONS:
+        fail(
+            f"{where}: unknown schema_version {version!r} "
+            f"(known: {list(KNOWN_SCHEMA_VERSIONS)})"
+        )
 
 
 def check_metrics(path):
@@ -92,6 +109,7 @@ def check_metrics(path):
 def check_trace(path, expect_ranks):
     with open(path) as handle:
         trace = json.load(handle)
+    check_schema_version(trace, path)
     events = trace.get("traceEvents")
     if not isinstance(events, list) or not events:
         fail(f"{path}: no traceEvents")
@@ -147,6 +165,7 @@ def check_events(path, expect_ranks, expect_epochs):
                 event = json.loads(line)
             except json.JSONDecodeError as error:
                 fail(f"{path}:{number}: not valid JSON: {error}")
+            check_schema_version(event, f"{path}:{number}")
             missing = EVENT_KEYS - event.keys()
             if missing:
                 fail(f"{path}:{number}: missing keys {sorted(missing)}")

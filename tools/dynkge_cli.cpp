@@ -53,6 +53,25 @@
 //                   [--kill-in-recovery N]  test hook: SIGKILL self in the
 //                                       middle of the N-th elastic rebuild
 //                   [--save-model file] [--report file.json]
+//   dynkge analyze  --trace t.json --events e.jsonl        critical-path +
+//                   [--json] [--out file]                  strategy-decision
+//                                                          report from a
+//                                                          train run's
+//                                                          telemetry: per
+//                                                          epoch the rank
+//                                                          that bounded it,
+//                                                          its blocking
+//                                                          collective, comm
+//                                                          fraction and
+//                                                          straggler skew,
+//                                                          plus an audit of
+//                                                          every DRS probe
+//                                                          decision against
+//                                                          the recorded
+//                                                          costs (exit 4
+//                                                          when a decision
+//                                                          contradicts the
+//                                                          measurements)
 //   dynkge eval     --data <dir> --model-file <file>       evaluate a saved
 //                                                          model
 //   dynkge predict  --data <dir> --model-file <file>       top-k entities
@@ -102,6 +121,7 @@
 
 #include "comm/fault.hpp"
 #include "core/distributed_eval.hpp"
+#include "obs/analysis.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -124,8 +144,8 @@ using namespace dynkge;
 namespace {
 
 int usage() {
-  std::cerr << "usage: dynkge <generate|stats|train|eval|predict|serve|"
-               "serve-bench> [--flags]\n"
+  std::cerr << "usage: dynkge <generate|stats|train|analyze|eval|predict|"
+               "serve|serve-bench> [--flags]\n"
                "(see the header of tools/dynkge_cli.cpp)\n";
   return 2;
 }
@@ -372,6 +392,46 @@ int cmd_train(const util::ArgParser& args) {
     events->flush();
     std::cout << "events written to " << events_path << " ("
               << events->lines_written() << " lines)\n";
+  }
+  return 0;
+}
+
+// Offline telemetry analysis: join a train run's trace spans with its
+// event stream (obs/analysis.hpp) and print the critical-path table plus
+// the DRS strategy audit. Exit codes: 0 clean, 2 bad flags, 4 when a
+// recorded probe decision contradicts the recorded costs — so CI can gate
+// on "the selector never decided against its own measurements".
+int cmd_analyze(const util::ArgParser& args) {
+  const std::string trace_path = args.get_string("trace", "");
+  const std::string events_path = args.get_string("events", "");
+  if (trace_path.empty() || events_path.empty()) {
+    std::cerr << "analyze: --trace <file.json> and --events <file.jsonl> "
+                 "are required\n";
+    return 2;
+  }
+  const auto spans = obs::load_trace_spans(trace_path);
+  const auto events = obs::load_events(events_path);
+  const obs::AnalysisReport report = obs::analyze(spans, events);
+
+  const std::string text =
+      args.get_bool("json", false) ? report.to_json() + "\n"
+                                   : report.to_table();
+  const std::string out_path = args.get_string("out", "");
+  if (out_path.empty()) {
+    std::cout << text;
+  } else {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "analyze: cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << text;
+    std::cout << "analysis written to " << out_path << "\n";
+  }
+  if (report.contradicted_decisions > 0) {
+    std::cerr << "analyze: " << report.contradicted_decisions
+              << " probe decision(s) contradict the recorded costs\n";
+    return 4;
   }
   return 0;
 }
@@ -880,6 +940,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(args);
     if (command == "stats") return cmd_stats(args);
     if (command == "train") return cmd_train(args);
+    if (command == "analyze") return cmd_analyze(args);
     if (command == "eval") return cmd_eval(args);
     if (command == "predict") return cmd_predict(args);
     if (command == "serve") return cmd_serve(args);
