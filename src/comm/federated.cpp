@@ -1,0 +1,76 @@
+#include "comm/federated.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/json_writer.hpp"
+
+namespace dynkge::comm {
+
+void validate_federated_policy(const FederatedPolicy& policy) {
+  if (policy.num_clients < 1) {
+    throw std::invalid_argument(
+        "FederatedPolicy: num_clients must be >= 1 (--clients)");
+  }
+  if (policy.local_epochs < 1) {
+    throw std::invalid_argument(
+        "FederatedPolicy: local_epochs must be >= 1 (--local-epochs)");
+  }
+  if (policy.rounds < 1) {
+    throw std::invalid_argument(
+        "FederatedPolicy: rounds must be >= 1 (--rounds)");
+  }
+  if (policy.elastic.max_rank_failures < 0) {
+    throw std::invalid_argument(
+        "FederatedPolicy: max rank failures must be >= 0 "
+        "(--max-rank-failures)");
+  }
+}
+
+std::vector<int> apply_failures(const std::vector<int>& active_clients,
+                                const std::vector<int>& failed_ranks) {
+  std::vector<int> survivors;
+  survivors.reserve(active_clients.size());
+  for (std::size_t i = 0; i < active_clients.size(); ++i) {
+    const bool failed =
+        std::binary_search(failed_ranks.begin(), failed_ranks.end(),
+                           static_cast<int>(i));
+    if (!failed) survivors.push_back(active_clients[i]);
+  }
+  return survivors;
+}
+
+void FederatedObserver::on_round(const FederatedRoundStats& stats) {
+  if (sinks_.events != nullptr) {
+    util::JsonWriter json;
+    json.begin_object()
+        .kv("event", "federated_round")
+        .kv("round", stats.round)
+        .kv("client", stats.client)
+        .kv("active_clients", stats.active_clients)
+        .kv("local_epochs", stats.local_epochs)
+        .kv("selection", stats.selection)
+        .kv("keep_rate", stats.keep_rate)
+        .kv("bytes_on_wire", stats.bytes_on_wire)
+        .kv("loss", stats.mean_loss)
+        .kv("lr", stats.lr)
+        .kv("val_accuracy", stats.val_accuracy)
+        .kv("sim_seconds", stats.sim_seconds)
+        .kv("comm_seconds", stats.comm_seconds)
+        .end_object();
+    sinks_.events->write_line(json.str());
+  }
+  if (sinks_.metrics != nullptr && stats.root) {
+    sinks_.metrics->counter("federated.rounds").add(1);
+    sinks_.metrics->counter("federated.bytes_on_wire")
+        .add(stats.bytes_on_wire);
+    sinks_.metrics->gauge("federated.active_clients")
+        .set(static_cast<double>(stats.active_clients));
+    sinks_.metrics->gauge("federated.val_accuracy").set(stats.val_accuracy);
+    sinks_.metrics->gauge("federated.loss").set(stats.mean_loss);
+    sinks_.metrics->histogram("federated.round_sim_seconds")
+        .record(stats.sim_seconds);
+  }
+}
+
+}  // namespace dynkge::comm

@@ -4,8 +4,11 @@
 
 namespace dynkge::core {
 
-CommModeSelector::CommModeSelector(CommMode mode, int probe_interval)
-    : mode_(mode), probe_interval_(probe_interval) {
+CommModeSelector::CommModeSelector(CommMode mode, int probe_interval,
+                                   bool topk_arm)
+    : mode_(mode),
+      probe_interval_(probe_interval),
+      topk_arm_(topk_arm && mode == CommMode::kDynamic) {
   // probe_interval == 1 would make every epoch after 0 a probe: no
   // all-reduce epoch ever runs again, so last_allreduce_time_ stays the
   // epoch-0 measurement and every probe compares against a stale baseline.
@@ -19,6 +22,28 @@ CommModeSelector::CommModeSelector(CommMode mode, int probe_interval)
 
 bool CommModeSelector::is_probe_epoch(int epoch) const {
   return epoch > 0 && epoch % probe_interval_ == 0;
+}
+
+int CommModeSelector::probe_arm(int epoch) const {
+  if (!topk_arm_) return kArmBase;
+  // Probe ordinal 1, 3, 5, ... runs the base arm; 2, 4, 6, ... runs the
+  // Top-K arm, so both arms keep getting measured until a probe wins.
+  const int ordinal = epoch / probe_interval_;
+  return ordinal % 2 == 1 ? kArmBase : kArmTopK;
+}
+
+SelectionMode CommModeSelector::selection_for(int epoch,
+                                              SelectionMode base) const {
+  if (mode_ != CommMode::kDynamic || !topk_arm_) return base;
+  if (switched_) {
+    return committed_arm_ == kArmTopK ? SelectionMode::kTopK : base;
+  }
+  if (is_probe_epoch(epoch)) {
+    return probe_arm(epoch) == kArmTopK ? SelectionMode::kTopK : base;
+  }
+  // All-reduce baseline epoch: dense, so the baseline the probes compete
+  // against is the genuine unsparsified all-reduce cost.
+  return SelectionMode::kNone;
 }
 
 Transport CommModeSelector::transport_for(int epoch) const {
@@ -47,9 +72,25 @@ void CommModeSelector::record_epoch(int epoch, double comm_seconds) {
     last_allreduce_time_ = comm_seconds;
     return;
   }
-  // This was a probe epoch: compare against the last all-reduce epoch.
+  // This was a probe epoch: remember the arm's cost, then compare against
+  // the last all-reduce epoch (the audit contract `dynkge analyze`
+  // checks: a switch happens iff the triggering probe beat its baseline).
+  const int arm = probe_arm(epoch);
+  if (arm == kArmTopK) {
+    topk_probe_time_ = comm_seconds;
+  } else {
+    base_probe_time_ = comm_seconds;
+  }
   if (last_allreduce_time_ >= 0.0 && comm_seconds < last_allreduce_time_) {
     switched_ = true;
+    // Commit to the fastest probed arm that beat the baseline. Ties (and
+    // the no-Top-K-arm configuration) resolve to the base arm.
+    committed_arm_ = kArmBase;
+    if (topk_arm_ && topk_probe_time_ >= 0.0 &&
+        topk_probe_time_ < last_allreduce_time_ &&
+        (base_probe_time_ < 0.0 || topk_probe_time_ < base_probe_time_)) {
+      committed_arm_ = kArmTopK;
+    }
   }
 }
 

@@ -16,10 +16,20 @@ namespace dynkge::core {
 
 class CommModeSelector {
  public:
+  /// Arms of the dynamic selector. Without the Top-K arm only the first
+  /// two exist and the selector behaves exactly as before.
+  enum Arm : int {
+    kArmBase = 1,  ///< the strategy's base selection (RS) over all-gather
+    kArmTopK = 2,  ///< entity-wise Top-K over all-gather
+  };
+
   /// Dynamic mode rejects probe_interval < 2: with interval 1 every epoch
   /// after 0 is a probe, so no all-reduce epoch would ever refresh the
-  /// comparison baseline. Static modes ignore the interval.
-  CommModeSelector(CommMode mode, int probe_interval);
+  /// comparison baseline. Static modes ignore the interval. With
+  /// `topk_arm`, probe epochs alternate between the base arm (odd probe
+  /// ordinals) and the Top-K arm (even ordinals); the switch commits to
+  /// the fastest probed arm that beat the all-reduce baseline.
+  CommModeSelector(CommMode mode, int probe_interval, bool topk_arm = false);
 
   /// The transport the upcoming epoch (0-based) should use.
   Transport transport_for(int epoch) const;
@@ -37,11 +47,22 @@ class CommModeSelector {
     return mode_ == CommMode::kDynamic && !switched_ && is_probe_epoch(epoch);
   }
 
+  /// The selection mode the upcoming epoch (0-based) should apply, given
+  /// the strategy's base mode. Static modes and dynamic mode without the
+  /// Top-K arm pass `base` through unchanged (the historical behavior:
+  /// e.g. DRS applies RS on all-reduce epochs too). With the Top-K arm,
+  /// all-reduce baseline epochs go dense (kNone), probe epochs run their
+  /// scheduled arm, and post-switch epochs run the committed arm.
+  SelectionMode selection_for(int epoch, SelectionMode base) const;
+
   /// Report the finished epoch's communication seconds (cluster max).
   void record_epoch(int epoch, double comm_seconds);
 
   /// True once the dynamic selector has committed to all-gather.
   bool switched_to_allgather() const { return switched_; }
+
+  /// The arm the switch committed to (meaningful once switched).
+  int committed_arm() const { return committed_arm_; }
 
   /// Fraction of recorded epochs that ran all-reduce (the paper's "~60%
   /// fewer all-reduce communications" observation is read off this).
@@ -56,27 +77,39 @@ class CommModeSelector {
     double last_allreduce_time = -1.0;
     int epochs_recorded = 0;
     int allreduce_epochs = 0;
+    int committed_arm = kArmBase;
+    double base_probe_time = -1.0;
+    double topk_probe_time = -1.0;
   };
   State state() const {
-    return {switched_, last_allreduce_time_, epochs_recorded_,
-            allreduce_epochs_};
+    return {switched_,         last_allreduce_time_, epochs_recorded_,
+            allreduce_epochs_, committed_arm_,       base_probe_time_,
+            topk_probe_time_};
   }
   void restore(const State& s) {
     switched_ = s.switched;
     last_allreduce_time_ = s.last_allreduce_time;
     epochs_recorded_ = s.epochs_recorded;
     allreduce_epochs_ = s.allreduce_epochs;
+    committed_arm_ = s.committed_arm;
+    base_probe_time_ = s.base_probe_time;
+    topk_probe_time_ = s.topk_probe_time;
   }
 
  private:
   bool is_probe_epoch(int epoch) const;
+  int probe_arm(int epoch) const;
 
   CommMode mode_;
   int probe_interval_;
+  bool topk_arm_;
   bool switched_ = false;
   double last_allreduce_time_ = -1.0;
   int epochs_recorded_ = 0;
   int allreduce_epochs_ = 0;
+  int committed_arm_ = kArmBase;
+  double base_probe_time_ = -1.0;
+  double topk_probe_time_ = -1.0;
 };
 
 }  // namespace dynkge::core

@@ -1,0 +1,174 @@
+// FederatedTrainer — multi-client training with server-side delta
+// aggregation (the FedS-style scenario on top of the paper's stack).
+//
+// M simulated clients each hold a private shard of the training triples.
+// One aggregation round is: every client copies the shared global model,
+// runs E local epochs of plain SGD on its shard, computes the sparse
+// entity/relation row *deltas* (local - global for touched rows), pushes
+// them through the strategy's selection (Top-K or RS, with error-feedback
+// residuals parked per client across rounds) and quantization, and the
+// server merges them over the parameter-server exchange path
+// (gatherv + broadcast in the cost model). Every client applies the same
+// merged average delta, so all replicas stay bit-identical — verified at
+// the end of every run.
+//
+// Determinism contract (DESIGN.md section 12): results are byte-identical
+// for a fixed (seed, client roster) across host-pool sizes, because every
+// RNG stream is derived from (seed, original client id, round, epoch),
+// shards are partitioned once for the *original* client count, each round
+// re-shuffles from the shard's canonical order, and all reductions
+// consume client contributions in fixed rank order.
+//
+// Client crashes reuse comm/recovery.* unchanged: within the elastic
+// budget the roster shrinks to the survivors and the poisoned round
+// replays from the previous round's in-memory snapshot — byte-identical
+// to a fresh run on the shrunk roster resumed from the same snapshot.
+// A dead client's shard simply drops out (its data is private).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/federated.hpp"
+#include "core/lr_scheduler.hpp"
+#include "core/strategy_config.hpp"
+#include "kge/dataset.hpp"
+#include "kge/evaluator.hpp"
+#include "obs/telemetry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dynkge::core {
+
+/// Everything needed to resume a federated run at a round boundary. Kept
+/// in memory for elastic recovery (like the distributed trainer's live
+/// snapshots) and surfaced on the report for determinism tests.
+struct FederatedSnapshot {
+  int next_round = 0;
+  /// Global model parameters (identical on every client).
+  std::vector<float> entity_params;
+  std::vector<float> relation_params;
+  /// Scheduler state (PlateauScheduler::State fields).
+  double scheduler_lr = 0.0;
+  double scheduler_best_metric = -1e300;
+  std::int32_t scheduler_stale_epochs = 0;
+  bool scheduler_stopped = false;
+  /// The roster the snapshot was taken with (original client ids,
+  /// ascending) and each client's residual blob (4 maps, encoded by
+  /// kge::encode_residual_maps), parallel to `clients`.
+  std::vector<int> clients;
+  std::vector<std::string> client_residuals;
+};
+
+struct FederatedConfig {
+  std::string model_name = "complex";
+  std::int32_t embedding_rank = 32;
+  float init_scale = 0.1f;
+
+  int negatives = 1;           ///< uniform corruptions per positive
+  double weight_decay = 1e-6;
+
+  PlateauConfig lr;
+  std::uint64_t seed = 1234;
+
+  /// Selection / quantization for the delta exchange. The transport is
+  /// always parameter-server (the comm field is ignored); Top-K requires
+  /// topk_k as in TrainConfig.
+  StrategyConfig strategy;
+
+  comm::FederatedPolicy policy;  ///< clients / local epochs / rounds / elastic
+
+  int host_threads = 0;
+  std::shared_ptr<util::ThreadPool> host_pool;
+
+  comm::FaultInjector* fault_injector = nullptr;
+  obs::TelemetrySinks telemetry;
+
+  std::size_t valid_max_triples = 500;
+  std::size_t eval_max_triples = 250;
+  bool compute_final_metrics = true;
+
+  comm::CostModelParams network = comm::CostModelParams::aries();
+
+  /// Test hooks: start from a subset of the original roster (empty = all
+  /// clients 0..M-1), optionally resuming from a snapshot — exactly what
+  /// a crash recovery does internally, so determinism tests can compare a
+  /// recovered run against a fresh shrunk-roster run.
+  std::vector<int> active_clients;
+  std::shared_ptr<const FederatedSnapshot> resume;
+};
+
+struct FederatedRoundRecord {
+  int round = 0;
+  int active_clients = 0;
+  double mean_loss = 0.0;
+  double val_accuracy = 0.0;
+  double lr = 0.0;
+  std::string selection;          ///< selection applied this round
+  double keep_rate = 1.0;
+  std::size_t bytes_on_wire = 0;  ///< rank-0 client's modeled traffic
+  double sim_seconds = 0.0;
+  double comm_seconds = 0.0;
+};
+
+struct FederatedReport {
+  std::string strategy_label;
+  std::string model_name;
+  int num_clients = 0;      ///< original roster size (M)
+  int active_clients = 0;   ///< survivors at the end
+  int rounds = 0;           ///< aggregation rounds completed (incl. resumed)
+  bool converged = false;   ///< plateau stop before the round cap
+
+  double final_val_accuracy = 0.0;
+  double tca = 0.0;
+  kge::RankingMetrics ranking;
+
+  double total_sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+
+  int client_failures = 0;
+  int recoveries = 0;
+  double recovery_seconds = 0.0;
+
+  /// Every client ended the run with bit-identical global parameters.
+  bool replicas_consistent = false;
+
+  std::vector<FederatedRoundRecord> round_log;
+
+  /// The final global model (shared by all clients).
+  std::shared_ptr<kge::KgeModel> model;
+
+  /// Snapshot taken after the last completed round — lets tests chain
+  /// byte-identity checks (recovered run vs fresh shrunk-roster resume).
+  std::shared_ptr<const FederatedSnapshot> final_state;
+};
+
+class FederatedTrainer {
+ public:
+  FederatedTrainer(const kge::Dataset& dataset, FederatedConfig config);
+
+  /// Run the federated job. Client deaths within the elastic budget
+  /// shrink the roster and replay the poisoned round; beyond the budget
+  /// comm::RankFailedError propagates (the CLI exits 3).
+  FederatedReport train();
+
+  const FederatedConfig& config() const { return config_; }
+
+ private:
+  /// One cluster attempt on `active` (original client ids, ascending).
+  /// `resume` may be null; `live` receives the newest round snapshot.
+  FederatedReport run_attempt(const std::vector<int>& active,
+                              const FederatedSnapshot* resume,
+                              util::ThreadPool& pool,
+                              std::shared_ptr<FederatedSnapshot>* live);
+
+  void validate_resume(const FederatedSnapshot& snapshot,
+                       const std::vector<int>& active) const;
+
+  const kge::Dataset& dataset_;
+  FederatedConfig config_;
+};
+
+}  // namespace dynkge::core

@@ -36,9 +36,11 @@ struct SelectionStats {
 };
 
 /// Drop rows of `grad` in place according to `mode`. `rng` is only used by
-/// the Bernoulli mode. Returns before/after row counts.
+/// the Bernoulli mode; `topk_k` only by SelectionMode::kTopK (the number of
+/// rows to keep, ties broken toward the smaller entity id). Returns
+/// before/after row counts.
 SelectionStats select_gradient_rows(kge::SparseGrad& grad, SelectionMode mode,
-                                    util::Rng& rng);
+                                    util::Rng& rng, std::size_t topk_k = 0);
 
 /// Stateful selector with optional residual accumulation (Aji & Heafield
 /// 2017, cited in the paper's related work): the values of dropped rows
@@ -47,12 +49,22 @@ SelectionStats select_gradient_rows(kge::SparseGrad& grad, SelectionMode mode,
 /// contribution instead of being starved forever.
 class GradSelector {
  public:
-  GradSelector(SelectionMode mode, bool accumulate_residuals)
-      : mode_(mode), accumulate_residuals_(accumulate_residuals) {}
+  GradSelector(SelectionMode mode, bool accumulate_residuals,
+               std::size_t topk_k = 0)
+      : mode_(mode),
+        accumulate_residuals_(accumulate_residuals),
+        topk_k_(topk_k) {}
 
   /// Fold residuals in, select rows, store new residuals for dropped
   /// rows. Mutates `grad` in place.
   SelectionStats apply(kge::SparseGrad& grad, util::Rng& rng);
+
+  /// Like apply(), but with the mode overridden for this call. The dynamic
+  /// Top-K arm uses this so one selector (and one residual map) serves
+  /// whatever selection the probe schedule picked for the epoch — the
+  /// residual mass parked by one arm is redelivered by the next.
+  SelectionStats apply(kge::SparseGrad& grad, util::Rng& rng,
+                       SelectionMode mode);
 
   /// Number of rows currently parked as residuals.
   std::size_t pending_rows() const { return residual_.size(); }
@@ -72,6 +84,7 @@ class GradSelector {
  private:
   SelectionMode mode_;
   bool accumulate_residuals_;
+  std::size_t topk_k_;
   std::unordered_map<std::int32_t, std::vector<float>> residual_;
 };
 

@@ -38,6 +38,8 @@ const char* to_string(SelectionMode mode) {
       return "averagex0.1";
     case SelectionMode::kBernoulli:
       return "random-selection";
+    case SelectionMode::kTopK:
+      return "topk";
   }
   return "?";
 }
@@ -76,9 +78,12 @@ std::string StrategyConfig::label() const {
   std::string out;
   if (selection == SelectionMode::kBernoulli) {
     out = comm == CommMode::kDynamic ? "DRS" : "RS";
+  } else if (selection == SelectionMode::kTopK) {
+    out = comm == CommMode::kDynamic ? "DTopK" : "TopK";
   } else {
     out = to_string(comm);
   }
+  if (dynamic_topk_arm) out += "+TopK-arm";
   if (quant == QuantMode::kOneBit) out += "+1-bit";
   if (quant == QuantMode::kTwoBit) out += "+2-bit";
   if (relation_partition) out += "+RP";
@@ -145,6 +150,28 @@ StrategyConfig StrategyConfig::drs_1bit_rp_ss(int sampled, int used) {
   config.relation_partition = true;
   config.negatives_sampled = sampled;
   config.negatives_used = used;
+  return config;
+}
+
+StrategyConfig StrategyConfig::topk(int k, int negatives) {
+  StrategyConfig config = baseline_allreduce(negatives);
+  config.selection = SelectionMode::kTopK;
+  // Top-K is only meaningful with error feedback: without residuals the
+  // dropped (num_rows - k) rows per step would simply be lost.
+  config.selection_residual = true;
+  config.topk_k = k;
+  // Selected (sparse) rows travel by all-gather, like RS.
+  config.comm = CommMode::kAllGather;
+  return config;
+}
+
+StrategyConfig StrategyConfig::drs_topk(int k, int negatives) {
+  StrategyConfig config = drs(negatives);
+  // Residuals are shared between the RS and Top-K arms (one map per
+  // selector), so both arms run with feedback for cross-arm consistency.
+  config.selection_residual = true;
+  config.topk_k = k;
+  config.dynamic_topk_arm = true;
   return config;
 }
 

@@ -36,6 +36,9 @@ enum class SelectionMode {
   kAverageTenth,      ///< threshold = 0.1 * mean norm (fig 3 "averagex0.1")
   kBernoulli,         ///< keep with P = min(1, ||g||2 / mean norm) — the
                       ///< paper's chosen "random selection" (RS)
+  kTopK,              ///< entity-wise Top-K by accumulated row norm with
+                      ///< error feedback (FedS-style); ties break toward
+                      ///< the smaller entity id
 };
 
 /// Strategy 3 — gradient value quantization for communicated rows.
@@ -72,6 +75,14 @@ struct StrategyConfig {
   /// Park dropped rows as residuals and redeliver them when the row next
   /// appears (Aji & Heafield 2017; extension, off in the paper's runs).
   bool selection_residual = false;
+
+  /// Rows kept per step by SelectionMode::kTopK (entity-wise Top-K).
+  /// Required >= 1 when that mode (or the dynamic Top-K arm) is active.
+  int topk_k = 0;
+  /// Give the dynamic selector a third arm: probe epochs alternate between
+  /// the base selection (RS) and Top-K, and the switch commits to the
+  /// fastest probed arm that beat the all-reduce baseline.
+  bool dynamic_topk_arm = false;
 
   QuantMode quant = QuantMode::kNone;
   OneBitScale one_bit_scale = OneBitScale::kMax;
@@ -111,6 +122,10 @@ struct StrategyConfig {
   static StrategyConfig rs_1bit_rp_ss(int sampled, int used = 1);
   /// DRS + 1-bit + relation partition + sample selection (m out of n).
   static StrategyConfig drs_1bit_rp_ss(int sampled, int used = 1);
+  /// TopK: entity-wise Top-K selection with error feedback (extension).
+  static StrategyConfig topk(int k, int negatives = 1);
+  /// DRS with the Top-K third arm: {dense all-reduce, RS, Top-K}.
+  static StrategyConfig drs_topk(int k, int negatives = 1);
 };
 
 }  // namespace dynkge::core

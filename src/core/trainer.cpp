@@ -53,76 +53,12 @@ void shuffle_triples(TripleList& triples, Rng& rng) {
   }
 }
 
-// ---- residual blobs (RESD section payload) ---------------------------
-// A rank's gradient-selection and error-feedback residual maps, packed
-// into one opaque blob for the snapshot: 4 maps (entity selector,
-// relation selector, exchange entity, exchange relation), each as a u32
-// row count followed by (i32 id, u32 width, float values) entries in
-// ascending id order so identical state always produces identical bytes.
-
-using ResidualMap = std::unordered_map<std::int32_t, std::vector<float>>;
-
-template <typename T>
-void blob_append(std::string& blob, const T& value) {
-  blob.append(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-std::string encode_residual_maps(
-    std::initializer_list<const ResidualMap*> maps) {
-  std::string blob;
-  for (const ResidualMap* map : maps) {
-    std::vector<std::int32_t> ids;
-    ids.reserve(map->size());
-    for (const auto& [id, values] : *map) ids.push_back(id);
-    std::sort(ids.begin(), ids.end());
-    blob_append(blob, static_cast<std::uint32_t>(ids.size()));
-    for (const std::int32_t id : ids) {
-      const std::vector<float>& values = map->at(id);
-      blob_append(blob, id);
-      blob_append(blob, static_cast<std::uint32_t>(values.size()));
-      blob.append(reinterpret_cast<const char*>(values.data()),
-                  values.size() * sizeof(float));
-    }
-  }
-  return blob;
-}
-
-std::vector<ResidualMap> decode_residual_maps(const std::string& blob,
-                                              std::size_t num_maps) {
-  std::vector<ResidualMap> maps(num_maps);
-  std::size_t pos = 0;
-  const auto read = [&](void* out, std::size_t size) {
-    if (size > blob.size() - pos) {
-      throw std::runtime_error(
-          "resume: residual blob truncated (snapshot RESD section)");
-    }
-    std::memcpy(out, blob.data() + pos, size);
-    pos += size;
-  };
-  for (ResidualMap& map : maps) {
-    std::uint32_t count = 0;
-    read(&count, sizeof(count));
-    for (std::uint32_t i = 0; i < count; ++i) {
-      std::int32_t id = 0;
-      std::uint32_t width = 0;
-      read(&id, sizeof(id));
-      read(&width, sizeof(width));
-      if (width > (1u << 20)) {
-        throw std::runtime_error(
-            "resume: residual row width " + std::to_string(width) +
-            " is implausible (snapshot RESD section corrupted)");
-      }
-      std::vector<float> values(width);
-      read(values.data(), width * sizeof(float));
-      map.emplace(id, std::move(values));
-    }
-  }
-  if (pos != blob.size()) {
-    throw std::runtime_error(
-        "resume: residual blob has trailing bytes (snapshot RESD section)");
-  }
-  return maps;
-}
+// Residual blobs (the RESD section payload) are encoded by
+// kge::encode_residual_maps: this trainer packs 4 maps per rank (entity
+// selector, relation selector, exchange entity, exchange relation).
+using kge::decode_residual_maps;
+using kge::encode_residual_maps;
+using kge::ResidualMap;
 
 /// Copy every parameter of `source` into a freshly constructed model of
 /// the same architecture (the checkpoint writer must not mutate the live
@@ -193,6 +129,23 @@ DistributedTrainer::DistributedTrainer(const kge::Dataset& dataset,
   if (config_.elastic.max_rank_failures < 0) {
     throw std::invalid_argument(
         "TrainConfig: max rank failures must be >= 0 (--max-rank-failures)");
+  }
+  if (s.selection == SelectionMode::kTopK || s.dynamic_topk_arm) {
+    if (s.topk_k < 1) {
+      throw std::invalid_argument(
+          "TrainConfig: Top-K selection requires topk_k >= 1 (--topk-k)");
+    }
+    if (s.topk_k > dataset_.num_entities()) {
+      throw std::invalid_argument(
+          "TrainConfig: topk_k " + std::to_string(s.topk_k) +
+          " exceeds the entity count " +
+          std::to_string(dataset_.num_entities()) + " (--topk-k)");
+    }
+  }
+  if (s.dynamic_topk_arm && s.comm != CommMode::kDynamic) {
+    throw std::invalid_argument(
+        "TrainConfig: the Top-K probe arm requires the dynamic comm mode "
+        "(--drs-topk-arm needs --strategy drs*)");
   }
 }
 
@@ -463,7 +416,8 @@ TrainReport DistributedTrainer::run_attempt(int world_size,
     GradExchange exchange(comm, strategy, dataset_.num_entities(),
                           model->entities().width(), dataset_.num_relations(),
                           model->relations().width(), tel.trace, rank);
-    CommModeSelector selector(strategy.comm, strategy.dynamic_probe_interval);
+    CommModeSelector selector(strategy.comm, strategy.dynamic_probe_interval,
+                              strategy.dynamic_topk_arm);
     PlateauScheduler scheduler(config_.lr, num_nodes);
     const kge::NegativeSampler sampler(dataset_);
     const kge::Evaluator evaluator(dataset_);
@@ -481,10 +435,11 @@ TrainReport DistributedTrainer::run_attempt(int world_size,
     std::vector<double> batch_scores;
     std::vector<kge::GradWork> grad_work;
     std::vector<std::array<std::size_t, 3>> grad_offsets;
+    const auto topk_k = static_cast<std::size_t>(strategy.topk_k);
     GradSelector entity_selector(strategy.selection,
-                                 strategy.selection_residual);
+                                 strategy.selection_residual, topk_k);
     GradSelector relation_selector(strategy.selection,
-                                   strategy.selection_residual);
+                                   strategy.selection_residual, topk_k);
 
     // ---- resume: restore every piece of state a fresh run would have ---
     if (resume != nullptr) {
@@ -505,7 +460,10 @@ TrainReport DistributedTrainer::run_attempt(int world_size,
       selector.restore({snap.comm_selector.switched,
                         snap.comm_selector.last_allreduce_time,
                         snap.comm_selector.epochs_recorded,
-                        snap.comm_selector.allreduce_epochs});
+                        snap.comm_selector.allreduce_epochs,
+                        snap.comm_selector.committed_arm,
+                        snap.comm_selector.base_probe_time,
+                        snap.comm_selector.topk_probe_time});
       auto residuals = decode_residual_maps(
           snap.rank_residuals[static_cast<std::size_t>(rank)], 4);
       entity_selector.restore_residuals(std::move(residuals[0]));
@@ -557,6 +515,11 @@ TrainReport DistributedTrainer::run_attempt(int world_size,
       const double comm_epoch_start = comm.stats().total_modeled_seconds();
       const bool probe_epoch = selector.is_probe(epoch);
       const Transport transport = selector.transport_for(epoch);
+      // With the Top-K arm the selection varies per epoch (dense on
+      // baseline epochs, the scheduled arm on probes, the committed arm
+      // after the switch); otherwise this is just strategy.selection.
+      const SelectionMode epoch_selection =
+          selector.selection_for(epoch, strategy.selection);
       const obs::TraceSpan epoch_span(tel.trace, "epoch", rank);
 
       Rng epoch_rng(util::derive_seed(config_.seed, rank, epoch, 0xE0u));
@@ -721,11 +684,12 @@ TrainReport DistributedTrainer::run_attempt(int world_size,
 
           // ---- strategy 2: gradient-row selection ----------------------
           rows_before_sum += static_cast<double>(local.entity.num_rows());
-          if (strategy.selection != SelectionMode::kNone) {
+          if (epoch_selection != SelectionMode::kNone) {
             const obs::TraceSpan span(tel.trace, "grad_select", rank);
-            entity_selector.apply(local.entity, epoch_rng);
+            entity_selector.apply(local.entity, epoch_rng, epoch_selection);
             if (!strategy.relation_partition) {
-              relation_selector.apply(local.relation, epoch_rng);
+              relation_selector.apply(local.relation, epoch_rng,
+                                      epoch_selection);
             }
           }
         }
@@ -882,7 +846,7 @@ TrainReport DistributedTrainer::run_attempt(int world_size,
             .kv("probe", probe_epoch)
             .kv("probe_baseline_seconds", probe_baseline)
             .kv("switched_to_allgather", selector.switched_to_allgather())
-            .kv("selection", to_string(strategy.selection))
+            .kv("selection", to_string(epoch_selection))
             .kv("keep_rate", rows_before_sum > 0.0
                                  ? rows_sent_sum / rows_before_sum
                                  : 1.0)
@@ -1037,7 +1001,10 @@ TrainReport DistributedTrainer::run_attempt(int world_size,
           snap.comm_selector = {selector_state.switched,
                                 selector_state.last_allreduce_time,
                                 selector_state.epochs_recorded,
-                                selector_state.allreduce_epochs};
+                                selector_state.allreduce_epochs,
+                                selector_state.committed_arm,
+                                selector_state.base_probe_time,
+                                selector_state.topk_probe_time};
           snap.rank_rng_seeds.reserve(num_nodes);
           for (int r = 0; r < num_nodes; ++r) {
             snap.rank_rng_seeds.push_back(

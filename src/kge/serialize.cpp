@@ -23,7 +23,7 @@ namespace {
 constexpr char kModelMagic[4] = {'D', 'K', 'G', 'E'};
 constexpr char kSnapshotMagic[4] = {'D', 'K', 'G', 'S'};
 constexpr std::uint32_t kModelVersion = 1;
-constexpr std::uint32_t kSnapshotVersion = 2;
+constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// Snapshot sections, in file order. The tags exist so corruption reports
 /// name the section a reader was in.
@@ -464,6 +464,9 @@ std::string serialize_snapshot(const TrainingSnapshot& snapshot) {
     out.pod(s.last_allreduce_time);
     out.pod(s.epochs_recorded);
     out.pod(s.allreduce_epochs);
+    out.pod(s.committed_arm);
+    out.pod(s.base_probe_time);
+    out.pod(s.topk_probe_time);
     sections[5] = out.take();
   }
   {
@@ -588,6 +591,9 @@ TrainingSnapshot deserialize_snapshot(std::string_view bytes,
     s.last_allreduce_time = in.pod<double>("last_allreduce_time");
     s.epochs_recorded = in.pod<std::int32_t>("epochs_recorded");
     s.allreduce_epochs = in.pod<std::int32_t>("allreduce_epochs");
+    s.committed_arm = in.pod<std::int32_t>("committed_arm");
+    s.base_probe_time = in.pod<double>("base_probe_time");
+    s.topk_probe_time = in.pod<double>("topk_probe_time");
     in.expect_exhausted();
   }
   {
@@ -631,6 +637,66 @@ TrainingSnapshot deserialize_snapshot(std::string_view bytes,
 
 TrainingSnapshot load_snapshot(const std::string& path) {
   return deserialize_snapshot(read_file(path, "load_snapshot"), path);
+}
+
+std::string encode_residual_maps(
+    std::initializer_list<const ResidualMap*> maps) {
+  const auto append = [](std::string& blob, const auto& value) {
+    blob.append(reinterpret_cast<const char*>(&value), sizeof(value));
+  };
+  std::string blob;
+  for (const ResidualMap* map : maps) {
+    std::vector<std::int32_t> ids;
+    ids.reserve(map->size());
+    for (const auto& [id, values] : *map) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    append(blob, static_cast<std::uint32_t>(ids.size()));
+    for (const std::int32_t id : ids) {
+      const std::vector<float>& values = map->at(id);
+      append(blob, id);
+      append(blob, static_cast<std::uint32_t>(values.size()));
+      blob.append(reinterpret_cast<const char*>(values.data()),
+                  values.size() * sizeof(float));
+    }
+  }
+  return blob;
+}
+
+std::vector<ResidualMap> decode_residual_maps(const std::string& blob,
+                                              std::size_t num_maps) {
+  std::vector<ResidualMap> maps(num_maps);
+  std::size_t pos = 0;
+  const auto read = [&](void* out, std::size_t size) {
+    if (size > blob.size() - pos) {
+      throw std::runtime_error(
+          "resume: residual blob truncated (snapshot RESD section)");
+    }
+    std::memcpy(out, blob.data() + pos, size);
+    pos += size;
+  };
+  for (ResidualMap& map : maps) {
+    std::uint32_t count = 0;
+    read(&count, sizeof(count));
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::int32_t id = 0;
+      std::uint32_t width = 0;
+      read(&id, sizeof(id));
+      read(&width, sizeof(width));
+      if (width > (1u << 20)) {
+        throw std::runtime_error(
+            "resume: residual row width " + std::to_string(width) +
+            " is implausible (snapshot RESD section corrupted)");
+      }
+      std::vector<float> values(width);
+      read(values.data(), width * sizeof(float));
+      map.emplace(id, std::move(values));
+    }
+  }
+  if (pos != blob.size()) {
+    throw std::runtime_error(
+        "resume: residual blob has trailing bytes (snapshot RESD section)");
+  }
+  return maps;
 }
 
 }  // namespace dynkge::kge

@@ -6,7 +6,7 @@
 //    written by save_model / read by load_model. What serving and `dynkge
 //    eval/predict` consume.
 //
-//  * Training snapshot ("DKGS", format version 2) — the full state needed
+//  * Training snapshot ("DKGS", format version 3) — the full state needed
 //    to resume training bit-identically: model parameters, Adam moments
 //    and step counts, epoch counter, LR-scheduler state, CommModeSelector
 //    (DRS) state, per-rank RNG stream seeds, and per-rank residual blobs
@@ -27,7 +27,7 @@
 //
 // Snapshot layout (little-endian):
 //   magic   "DKGS"            4 bytes
-//   version u32               currently 2
+//   version u32               currently 3
 //   8 sections, each: tag (4 bytes) + u64 payload length + payload,
 //   in fixed order MODL OPTE OPTR TRNR SCHD SELC RNGS RESD
 //   hash    u64               FNV-1a over everything above
@@ -40,9 +40,11 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "kge/embedding.hpp"
@@ -78,12 +80,17 @@ struct SchedulerSnapshot {
   bool stopped = false;
 };
 
-/// CommModeSelector (DRS) state (core/comm_selector.hpp).
+/// CommModeSelector (DRS) state (core/comm_selector.hpp). The last three
+/// fields track the Top-K third arm (format version 3); they sit at their
+/// defaults for two-arm runs.
 struct CommSelectorSnapshot {
   bool switched = false;
   double last_allreduce_time = -1.0;
   std::int32_t epochs_recorded = 0;
   std::int32_t allreduce_epochs = 0;
+  std::int32_t committed_arm = 1;
+  double base_probe_time = -1.0;
+  double topk_probe_time = -1.0;
 };
 
 /// Run identity + progress. The identity fields are validated on resume so
@@ -152,5 +159,25 @@ TrainingSnapshot deserialize_snapshot(std::string_view bytes,
 /// keep the buffer and persist it.
 void write_snapshot_bytes(const std::string& sealed, const std::string& path,
                           const SnapshotWriteOptions& options = {});
+
+// ---------------------------------------------------------------------
+// Residual blobs (the RESD section payload, shared by the distributed and
+// federated trainers).
+
+/// A gradient-selection / error-feedback residual map: row id -> parked
+/// row values.
+using ResidualMap = std::unordered_map<std::int32_t, std::vector<float>>;
+
+/// Pack residual maps into one opaque blob: each map as a u32 row count
+/// followed by (i32 id, u32 width, float values) entries in ascending id
+/// order, so identical state always produces identical bytes.
+std::string encode_residual_maps(
+    std::initializer_list<const ResidualMap*> maps);
+
+/// Unpack a blob produced by encode_residual_maps into exactly `num_maps`
+/// maps; throws std::runtime_error on truncation, trailing bytes, or an
+/// implausible row width.
+std::vector<ResidualMap> decode_residual_maps(const std::string& blob,
+                                              std::size_t num_maps);
 
 }  // namespace dynkge::kge

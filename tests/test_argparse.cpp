@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "comm/federated.hpp"
+#include "core/trainer.hpp"
+#include "kge/synthetic.hpp"
+
 namespace dynkge::util {
 namespace {
 
@@ -74,6 +82,99 @@ TEST(ArgParser, NegativeNumbersAsValues) {
   // A negative numeric value must not be mistaken for a flag.
   const auto args = make({"--offset", "-3"});
   EXPECT_EQ(args.get_int("offset", 0), -3);
+}
+
+// ---- selection / federated flag surface ------------------------------
+//
+// The CLI forwards these straight into TrainConfig / FederatedPolicy, so
+// the parse shapes and the config-time rejection messages are one
+// contract: a bad value must come back as std::invalid_argument naming
+// the flag the user typed (the probe_interval precedent in trainer.cpp).
+
+TEST(ArgParser, SelectionAndFederatedFlagShapes) {
+  const auto args = make({"--select", "topk", "--topk-k", "514",
+                          "--drs-topk-arm", "--trainer", "federated",
+                          "--clients", "4", "--local-epochs=2",
+                          "--rounds", "10"});
+  EXPECT_EQ(args.get_string("select", ""), "topk");
+  EXPECT_EQ(args.get_int("topk-k", 0), 514);
+  EXPECT_TRUE(args.get_bool("drs-topk-arm", false));
+  EXPECT_EQ(args.get_string("trainer", "distributed"), "federated");
+  EXPECT_EQ(args.get_int("clients", 2), 4);
+  EXPECT_EQ(args.get_int("local-epochs", 1), 2);
+  EXPECT_EQ(args.get_int("rounds", 0), 10);
+}
+
+const kge::Dataset& flag_dataset() {
+  static const kge::Dataset dataset = kge::generate_synthetic([] {
+    kge::SyntheticSpec spec;
+    spec.num_entities = 50;
+    spec.num_relations = 4;
+    spec.num_triples = 400;
+    spec.seed = 5;
+    return spec;
+  }());
+  return dataset;
+}
+
+void expect_message_names_flag(const std::function<void()>& build,
+                               const std::string& flag) {
+  try {
+    build();
+    FAIL() << "expected invalid_argument naming " << flag;
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find(flag), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(FlagValidation, TopKRejectedByFlagName) {
+  core::TrainConfig config;
+  config.strategy = core::StrategyConfig::topk(1);
+
+  config.strategy.topk_k = 0;
+  expect_message_names_flag(
+      [&] { core::DistributedTrainer trainer(flag_dataset(), config); },
+      "--topk-k");
+
+  config.strategy.topk_k = flag_dataset().num_entities() + 1;
+  expect_message_names_flag(
+      [&] { core::DistributedTrainer trainer(flag_dataset(), config); },
+      "--topk-k");
+
+  // The dynamic Top-K arm only exists under a dynamic comm mode.
+  config = core::TrainConfig{};
+  config.strategy = core::StrategyConfig::rs();
+  config.strategy.dynamic_topk_arm = true;
+  config.strategy.topk_k = 8;
+  expect_message_names_flag(
+      [&] { core::DistributedTrainer trainer(flag_dataset(), config); },
+      "--drs-topk-arm");
+}
+
+TEST(FlagValidation, FederatedPolicyRejectedByFlagName) {
+  comm::FederatedPolicy policy;
+
+  policy.num_clients = 0;
+  expect_message_names_flag(
+      [&] { comm::validate_federated_policy(policy); }, "--clients");
+
+  policy = comm::FederatedPolicy{};
+  policy.local_epochs = 0;
+  expect_message_names_flag(
+      [&] { comm::validate_federated_policy(policy); }, "--local-epochs");
+
+  policy = comm::FederatedPolicy{};
+  policy.rounds = 0;
+  expect_message_names_flag(
+      [&] { comm::validate_federated_policy(policy); }, "--rounds");
+
+  policy = comm::FederatedPolicy{};
+  policy.elastic.enabled = true;
+  policy.elastic.max_rank_failures = -1;
+  expect_message_names_flag(
+      [&] { comm::validate_federated_policy(policy); },
+      "--max-rank-failures");
 }
 
 }  // namespace

@@ -234,7 +234,9 @@ std::string case_name(const testing::TestParamInfo<TrainerCase>& info) {
   name += info.param.quant == QuantMode::kNone     ? "_raw"
           : info.param.quant == QuantMode::kOneBit ? "_1bit"
                                                    : "_2bit";
-  name += info.param.selection == SelectionMode::kNone ? "_dense" : "_rs";
+  name += info.param.selection == SelectionMode::kNone       ? "_dense"
+          : info.param.selection == SelectionMode::kBernoulli ? "_rs"
+                                                              : "_topk";
   return name;
 }
 
@@ -258,6 +260,12 @@ TEST_P(TrainerBlockEquivalence, BlockedPathIsByteIdentical) {
   config.strategy.comm = CommMode::kAllGather;
   config.strategy.quant = param.quant;
   config.strategy.selection = param.selection;
+  if (param.selection == SelectionMode::kTopK) {
+    // Tight enough to actually drop rows at batch 200, with error
+    // feedback so the dropped mass flows through later steps too.
+    config.strategy.topk_k = 24;
+    config.strategy.selection_residual = true;
+  }
   config.strategy.negatives_sampled = 4;
   config.strategy.negatives_used = 1;
 
@@ -281,7 +289,8 @@ INSTANTIATE_TEST_SUITE_P(
         for (const QuantMode quant :
              {QuantMode::kNone, QuantMode::kOneBit, QuantMode::kTwoBit}) {
           for (const SelectionMode selection :
-               {SelectionMode::kNone, SelectionMode::kBernoulli}) {
+               {SelectionMode::kNone, SelectionMode::kBernoulli,
+                SelectionMode::kTopK}) {
             cases.push_back({model, quant, selection});
           }
         }

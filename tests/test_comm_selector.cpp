@@ -125,6 +125,69 @@ TEST(CommModeSelector, RejectsBadProbeInterval) {
   EXPECT_NO_THROW(CommModeSelector(CommMode::kAllGather, 1));
 }
 
+TEST(CommModeSelector, SelectionPassesThroughWithoutTopKArm) {
+  // Historical behavior: static modes and plain DRS never rewrite the
+  // strategy's base selection, on probe epochs or otherwise.
+  CommModeSelector statics(CommMode::kAllGather, 10);
+  CommModeSelector dynamic(CommMode::kDynamic, 5);
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    EXPECT_EQ(statics.selection_for(epoch, SelectionMode::kBernoulli),
+              SelectionMode::kBernoulli);
+    EXPECT_EQ(dynamic.selection_for(epoch, SelectionMode::kBernoulli),
+              SelectionMode::kBernoulli);
+    dynamic.record_epoch(epoch, 1.0);
+  }
+}
+
+TEST(CommModeSelector, TopKArmAlternatesProbesAndGoesDenseOnBaseline) {
+  CommModeSelector selector(CommMode::kDynamic, 5, /*topk_arm=*/true);
+  for (int epoch = 0; epoch < 21; ++epoch) {
+    const SelectionMode mode =
+        selector.selection_for(epoch, SelectionMode::kBernoulli);
+    if (epoch == 5 || epoch == 15) {
+      // Odd probe ordinals run the base arm.
+      EXPECT_EQ(mode, SelectionMode::kBernoulli) << "epoch " << epoch;
+    } else if (epoch == 10 || epoch == 20) {
+      // Even probe ordinals run the Top-K arm.
+      EXPECT_EQ(mode, SelectionMode::kTopK) << "epoch " << epoch;
+    } else {
+      // All-reduce baseline epochs go dense so the probes compete
+      // against the genuine unsparsified cost.
+      EXPECT_EQ(mode, SelectionMode::kNone) << "epoch " << epoch;
+    }
+    selector.record_epoch(epoch, 1.0);  // never faster -> never switches
+  }
+  EXPECT_FALSE(selector.switched_to_allgather());
+}
+
+TEST(CommModeSelector, CommitsToTopKArmWhenItsProbeIsFastest) {
+  CommModeSelector selector(CommMode::kDynamic, 5, /*topk_arm=*/true);
+  for (int epoch = 0; epoch < 5; ++epoch) selector.record_epoch(epoch, 1.0);
+  selector.record_epoch(5, 0.8);  // base arm probe: faster, but not best
+  // No switch yet on the base probe alone? It did beat the baseline, so
+  // the selector commits immediately — to the only arm measured so far.
+  EXPECT_TRUE(selector.switched_to_allgather());
+  EXPECT_EQ(selector.committed_arm(), CommModeSelector::kArmBase);
+
+  // Fresh selector where the base probe loses and the Top-K probe wins:
+  // the switch fires on the Top-K probe and commits to the Top-K arm.
+  CommModeSelector topk(CommMode::kDynamic, 5, /*topk_arm=*/true);
+  for (int epoch = 0; epoch < 5; ++epoch) topk.record_epoch(epoch, 1.0);
+  topk.record_epoch(5, 1.5);  // base arm probe: slower, no switch
+  EXPECT_FALSE(topk.switched_to_allgather());
+  for (int epoch = 6; epoch < 10; ++epoch) topk.record_epoch(epoch, 1.0);
+  topk.record_epoch(10, 0.3);  // Top-K arm probe: wins
+  EXPECT_TRUE(topk.switched_to_allgather());
+  EXPECT_EQ(topk.committed_arm(), CommModeSelector::kArmTopK);
+  // Post-switch epochs all run the committed arm over all-gather.
+  for (int epoch = 11; epoch < 15; ++epoch) {
+    EXPECT_TRUE(topk.use_allgather(epoch));
+    EXPECT_EQ(topk.selection_for(epoch, SelectionMode::kBernoulli),
+              SelectionMode::kTopK);
+    topk.record_epoch(epoch, 0.3);
+  }
+}
+
 TEST(CommModeSelector, ProbeComparesAgainstFreshBaseline) {
   // Regression: the baseline must come from the most recent all-reduce
   // epoch, not a stale earlier one. Epoch 0 is slow (1.0s), epoch 1 is

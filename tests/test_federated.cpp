@@ -1,0 +1,282 @@
+// Federated multi-client training: aggregation byte-determinism across
+// client counts, selection modes, and host-pool sizes; client-crash
+// recovery through comm/recovery.*; and the out-of-budget fail-fast
+// contract. "Byte-identical" is memcmp over the raw float storage.
+#include "core/federated.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "kge/synthetic.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dynkge::core {
+namespace {
+
+const kge::Dataset& tiny_dataset() {
+  static const kge::Dataset dataset = kge::generate_synthetic([] {
+    kge::SyntheticSpec spec;
+    spec.num_entities = 200;
+    spec.num_relations = 16;
+    spec.num_triples = 2400;
+    spec.num_latent_types = 4;
+    spec.seed = 71;
+    return spec;
+  }());
+  return dataset;
+}
+
+FederatedConfig base_config(int clients, SelectionMode selection) {
+  FederatedConfig config;
+  config.model_name = "complex";
+  config.embedding_rank = 8;
+  config.negatives = 2;
+  config.lr.base_lr = 0.05;
+  config.lr.tolerance = 15;  // no plateau stop inside these short runs
+  config.seed = 4242;
+  config.policy.num_clients = clients;
+  config.policy.local_epochs = 2;
+  config.policy.rounds = 4;
+  config.strategy.selection = selection;
+  config.strategy.selection_residual = selection != SelectionMode::kNone;
+  if (selection == SelectionMode::kTopK) config.strategy.topk_k = 40;
+  config.valid_max_triples = 100;
+  config.compute_final_metrics = false;
+  config.host_threads = 1;
+  return config;
+}
+
+bool same_bytes(std::span<const float> a, std::span<const float> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size_bytes()) == 0;
+}
+
+void expect_identical_models(const FederatedReport& a,
+                             const FederatedReport& b) {
+  ASSERT_NE(a.model, nullptr);
+  ASSERT_NE(b.model, nullptr);
+  EXPECT_TRUE(same_bytes(a.model->entities().flat(),
+                         b.model->entities().flat()));
+  EXPECT_TRUE(same_bytes(a.model->relations().flat(),
+                         b.model->relations().flat()));
+}
+
+// ---- aggregation byte-determinism ------------------------------------
+
+struct DeterminismCase {
+  int clients;
+  SelectionMode selection;
+};
+
+std::string determinism_name(
+    const testing::TestParamInfo<DeterminismCase>& info) {
+  return std::to_string(info.param.clients) + "clients_" +
+         (info.param.selection == SelectionMode::kTopK ? "topk" : "rs");
+}
+
+class FederatedDeterminism : public testing::TestWithParam<DeterminismCase> {
+};
+
+TEST_P(FederatedDeterminism, ByteIdenticalAcrossHostPoolSizes) {
+  const DeterminismCase& param = GetParam();
+  FederatedConfig config = base_config(param.clients, param.selection);
+  config.host_threads = 1;
+  const auto serial = FederatedTrainer(tiny_dataset(), config).train();
+  config.host_threads = 4;
+  const auto pooled = FederatedTrainer(tiny_dataset(), config).train();
+
+  EXPECT_EQ(serial.rounds, config.policy.rounds);
+  EXPECT_TRUE(serial.replicas_consistent);
+  EXPECT_TRUE(pooled.replicas_consistent);
+  EXPECT_EQ(serial.final_val_accuracy, pooled.final_val_accuracy);
+  expect_identical_models(serial, pooled);
+}
+
+TEST_P(FederatedDeterminism, RoundLogRecordsSelection) {
+  const DeterminismCase& param = GetParam();
+  const FederatedConfig config = base_config(param.clients, param.selection);
+  const auto report = FederatedTrainer(tiny_dataset(), config).train();
+  ASSERT_EQ(report.round_log.size(),
+            static_cast<std::size_t>(config.policy.rounds));
+  for (const auto& record : report.round_log) {
+    EXPECT_EQ(record.selection, to_string(param.selection));
+    EXPECT_EQ(record.active_clients, param.clients);
+    EXPECT_GT(record.bytes_on_wire, 0u);
+    if (param.selection == SelectionMode::kTopK) {
+      EXPECT_LT(record.keep_rate, 1.0);  // K below the touched-row count
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClientsBySelection, FederatedDeterminism,
+    testing::ValuesIn(std::vector<DeterminismCase>{
+        {2, SelectionMode::kTopK},
+        {2, SelectionMode::kBernoulli},
+        {4, SelectionMode::kTopK},
+        {4, SelectionMode::kBernoulli},
+    }),
+    determinism_name);
+
+// ---- snapshot/resume --------------------------------------------------
+
+TEST(Federated, ResumeMatchesUninterruptedRun) {
+  FederatedConfig config = base_config(4, SelectionMode::kTopK);
+  const auto continuous = FederatedTrainer(tiny_dataset(), config).train();
+
+  FederatedConfig head = config;
+  head.policy.rounds = 2;
+  const auto first_half = FederatedTrainer(tiny_dataset(), head).train();
+  ASSERT_NE(first_half.final_state, nullptr);
+  EXPECT_EQ(first_half.final_state->next_round, 2);
+
+  FederatedConfig tail = config;
+  tail.resume = first_half.final_state;
+  const auto resumed = FederatedTrainer(tiny_dataset(), tail).train();
+
+  EXPECT_EQ(resumed.rounds, continuous.rounds);
+  EXPECT_EQ(resumed.final_val_accuracy, continuous.final_val_accuracy);
+  expect_identical_models(resumed, continuous);
+}
+
+// ---- client-crash recovery -------------------------------------------
+
+std::unique_ptr<comm::FaultInjector> crash_injector(const std::string& spec) {
+  return std::make_unique<comm::FaultInjector>(
+      comm::FaultInjector::parse_spec(spec), comm::RetryPolicy{});
+}
+
+TEST(Federated, ClientCrashShrinksRosterAndCompletes) {
+  FederatedConfig config = base_config(4, SelectionMode::kTopK);
+  config.policy.elastic.enabled = true;
+  config.policy.elastic.max_rank_failures = 1;
+  const auto faults = crash_injector("crash@1@e2");
+  config.fault_injector = faults.get();
+
+  const auto report = FederatedTrainer(tiny_dataset(), config).train();
+  EXPECT_EQ(report.rounds, config.policy.rounds);
+  EXPECT_EQ(report.client_failures, 1);
+  EXPECT_EQ(report.recoveries, 1);
+  EXPECT_EQ(report.num_clients, 4);
+  EXPECT_EQ(report.active_clients, 3);
+  EXPECT_TRUE(report.replicas_consistent);
+}
+
+TEST(Federated, CrashRecoveryByteIdenticalToFreshShrunkRun) {
+  // Crashed run: client 1 dies in round 2; survivors {0, 2, 3} roll back
+  // to the round-1 snapshot and replay.
+  FederatedConfig crashed = base_config(4, SelectionMode::kTopK);
+  crashed.policy.elastic.enabled = true;
+  crashed.policy.elastic.max_rank_failures = 1;
+  const auto faults = crash_injector("crash@1@e2");
+  crashed.fault_injector = faults.get();
+  const auto recovered = FederatedTrainer(tiny_dataset(), crashed).train();
+  ASSERT_EQ(recovered.recoveries, 1);
+
+  // Fresh shrunk-world reference: the same two clean rounds on the full
+  // roster, then a brand-new run on the survivors resumed from that
+  // snapshot. Byte-identity here is the whole determinism contract: the
+  // crash path may not leave any state behind that a fresh process
+  // wouldn't reconstruct.
+  FederatedConfig head = base_config(4, SelectionMode::kTopK);
+  head.policy.rounds = 2;
+  const auto first_half = FederatedTrainer(tiny_dataset(), head).train();
+  ASSERT_NE(first_half.final_state, nullptr);
+
+  FederatedConfig shrunk = base_config(4, SelectionMode::kTopK);
+  shrunk.active_clients = {0, 2, 3};
+  shrunk.resume = first_half.final_state;
+  const auto fresh = FederatedTrainer(tiny_dataset(), shrunk).train();
+
+  EXPECT_EQ(recovered.final_val_accuracy, fresh.final_val_accuracy);
+  expect_identical_models(recovered, fresh);
+}
+
+TEST(Federated, OutOfBudgetCrashFailsFast) {
+  // No elastic budget: the crash must propagate as RankFailedError (the
+  // CLI maps it to exit 3).
+  FederatedConfig config = base_config(4, SelectionMode::kBernoulli);
+  const auto faults = crash_injector("crash@1@e1");
+  config.fault_injector = faults.get();
+  EXPECT_THROW(FederatedTrainer(tiny_dataset(), config).train(),
+               comm::RankFailedError);
+}
+
+TEST(Federated, BudgetExhaustionFailsFastOnSecondCrash) {
+  FederatedConfig config = base_config(4, SelectionMode::kBernoulli);
+  config.policy.elastic.enabled = true;
+  config.policy.elastic.max_rank_failures = 1;
+  const auto faults = crash_injector("crash@1@e1,crash@2@e2");
+  config.fault_injector = faults.get();
+  EXPECT_THROW(FederatedTrainer(tiny_dataset(), config).train(),
+               comm::RankFailedError);
+}
+
+// ---- config validation ------------------------------------------------
+
+TEST(Federated, RejectsBadPolicyByFlagName) {
+  const auto expect_rejected = [](FederatedConfig config,
+                                  const std::string& needle) {
+    try {
+      FederatedTrainer trainer(tiny_dataset(), config);
+      FAIL() << "expected invalid_argument mentioning " << needle;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << error.what();
+    }
+  };
+
+  auto config = base_config(2, SelectionMode::kBernoulli);
+  config.policy.num_clients = 0;
+  expect_rejected(config, "--clients");
+
+  config = base_config(2, SelectionMode::kBernoulli);
+  config.policy.local_epochs = 0;
+  expect_rejected(config, "--local-epochs");
+
+  config = base_config(2, SelectionMode::kBernoulli);
+  config.policy.rounds = 0;
+  expect_rejected(config, "--rounds");
+
+  config = base_config(2, SelectionMode::kTopK);
+  config.strategy.topk_k = 0;
+  expect_rejected(config, "--topk-k");
+
+  config = base_config(2, SelectionMode::kTopK);
+  config.strategy.topk_k = tiny_dataset().num_entities() + 1;
+  expect_rejected(config, "--topk-k");
+
+  config = base_config(2, SelectionMode::kBernoulli);
+  config.strategy.dynamic_topk_arm = true;
+  expect_rejected(config, "--drs-topk-arm");
+
+  config = base_config(2, SelectionMode::kBernoulli);
+  config.active_clients = {0, 5};
+  expect_rejected(config, "outside");
+
+  config = base_config(2, SelectionMode::kBernoulli);
+  config.active_clients = {1, 0};
+  expect_rejected(config, "ascending");
+}
+
+TEST(Federated, RejectsResumeWithUnknownClient) {
+  FederatedConfig head = base_config(4, SelectionMode::kBernoulli);
+  head.policy.rounds = 1;
+  head.active_clients = {0, 1, 2};
+  const auto first = FederatedTrainer(tiny_dataset(), head).train();
+  ASSERT_NE(first.final_state, nullptr);
+
+  FederatedConfig tail = base_config(4, SelectionMode::kBernoulli);
+  tail.active_clients = {0, 1, 3};  // client 3 has no state in the snapshot
+  tail.resume = first.final_state;
+  EXPECT_THROW(FederatedTrainer(tiny_dataset(), tail).train(),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dynkge::core

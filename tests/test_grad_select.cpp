@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
+#include <unordered_map>
+#include <vector>
 
 namespace dynkge::core {
 namespace {
@@ -188,6 +191,199 @@ TEST(GradSelect, DeterministicGivenSeed) {
   select_gradient_rows(a, SelectionMode::kBernoulli, ra);
   select_gradient_rows(b, SelectionMode::kBernoulli, rb);
   EXPECT_EQ(a.sorted_ids(), b.sorted_ids());
+}
+
+// ---- Top-K ----------------------------------------------------------------
+
+TEST(GradSelect, TopKKeepsExactlyKLargest) {
+  auto grad = make_grad({0.5f, 3.0f, 1.0f, 2.0f, 0.1f});
+  util::Rng rng(1);
+  const auto stats =
+      select_gradient_rows(grad, SelectionMode::kTopK, rng, /*topk_k=*/2);
+  EXPECT_EQ(stats.rows_before, 5u);
+  EXPECT_EQ(stats.rows_after, 2u);
+  EXPECT_TRUE(grad.has(1));  // norm 3.0
+  EXPECT_TRUE(grad.has(3));  // norm 2.0
+  EXPECT_EQ(grad.num_rows(), 2u);
+}
+
+TEST(GradSelect, TopKTieBreaksTowardSmallerIds) {
+  // Adversarial all-equal-norm rows: the ranking carries no information,
+  // so the deterministic tie-break (smaller entity id wins) must decide.
+  auto grad = make_grad({2.0f, 2.0f, 2.0f, 2.0f, 2.0f});
+  util::Rng rng(7);
+  select_gradient_rows(grad, SelectionMode::kTopK, rng, /*topk_k=*/3);
+  EXPECT_EQ(grad.sorted_ids(), (std::vector<std::int32_t>{0, 1, 2}));
+}
+
+TEST(GradSelect, TopKKeepsAllWhenKExceedsRows) {
+  auto grad = make_grad({1.0f, 2.0f});
+  util::Rng rng(1);
+  const auto stats =
+      select_gradient_rows(grad, SelectionMode::kTopK, rng, /*topk_k=*/10);
+  EXPECT_EQ(stats.rows_after, 2u);
+}
+
+TEST(GradSelect, TopKWorksOnAllZeroGradient) {
+  // Unlike the mean-norm modes (which keep everything when the mean is
+  // zero), Top-K still enforces its cardinality bound; ties resolve by id.
+  kge::SparseGrad grad(4);
+  for (std::int32_t id : {4, 1, 7}) grad.accumulate(id);
+  util::Rng rng(1);
+  const auto stats =
+      select_gradient_rows(grad, SelectionMode::kTopK, rng, /*topk_k=*/2);
+  EXPECT_EQ(stats.rows_after, 2u);
+  EXPECT_EQ(grad.sorted_ids(), (std::vector<std::int32_t>{1, 4}));
+}
+
+TEST(GradSelect, TopKDeterministicAcrossRuns) {
+  for (int trial = 0; trial < 10; ++trial) {
+    util::Rng gen(1000 + trial);
+    std::vector<float> norms(20);
+    for (auto& n : norms) {
+      n = static_cast<float>(gen.next_below(4));  // many ties
+    }
+    auto a = make_grad(norms);
+    auto b = make_grad(norms);
+    util::Rng ra(5), rb(99);  // Top-K must not consume randomness
+    select_gradient_rows(a, SelectionMode::kTopK, ra, 7);
+    select_gradient_rows(b, SelectionMode::kTopK, rb, 7);
+    EXPECT_EQ(a.sorted_ids(), b.sorted_ids()) << "trial " << trial;
+  }
+}
+
+// ---- residual conservation (property/fuzz) --------------------------------
+
+/// Mirror of the selector's residual bookkeeping, reproducing the exact
+/// float operations: folding a parked residual into a fresh row is
+/// element-wise float addition, and a dropped row parks its folded value.
+using ShadowResiduals =
+    std::unordered_map<std::int32_t, std::vector<float>>;
+
+/// Conservation invariant, checked exactly (no tolerance): after apply(),
+/// every id delivers its folded value either through the gradient (kept)
+/// or the residual map (dropped) — never both, never a third value.
+void check_conservation(const kge::SparseGrad& grad,
+                        const GradSelector& selector,
+                        const ShadowResiduals& expected_folded) {
+  for (const auto& [id, folded] : expected_folded) {
+    const bool kept = grad.has(id);
+    const auto it = selector.residuals().find(id);
+    const bool parked = it != selector.residuals().end();
+    ASSERT_NE(kept, parked) << "id " << id
+                            << " must be delivered XOR parked";
+    const auto actual =
+        kept ? grad.row(id)
+             : std::span<const float>(it->second.data(), it->second.size());
+    ASSERT_EQ(actual.size(), folded.size());
+    for (std::size_t i = 0; i < folded.size(); ++i) {
+      // Exact: promoted to double, no rounding slack.
+      ASSERT_EQ(static_cast<double>(actual[i]),
+                static_cast<double>(folded[i]))
+          << "id " << id << " lane " << i;
+    }
+  }
+}
+
+TEST(GradSelector, ResidualConservationFuzzAllModes) {
+  constexpr std::int32_t kWidth = 6;
+  constexpr std::int32_t kIds = 40;
+  const SelectionMode modes[] = {SelectionMode::kBernoulli,
+                                 SelectionMode::kTopK,
+                                 SelectionMode::kAverageThreshold,
+                                 SelectionMode::kAverageTenth};
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    util::Rng gen(0xF022u + seed);
+    const auto topk_k = static_cast<std::size_t>(1 + gen.next_below(8));
+    GradSelector selector(SelectionMode::kTopK, /*residuals=*/true, topk_k);
+    ShadowResiduals shadow;  // what we expect parked between steps
+    util::Rng select_rng(0x5EEDu + seed);
+
+    for (int step = 0; step < 60; ++step) {
+      const SelectionMode mode = modes[gen.next_below(4)];
+      kge::SparseGrad grad(kWidth);
+      const std::size_t rows = 1 + gen.next_below(kIds);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const auto id = static_cast<std::int32_t>(gen.next_below(kIds));
+        auto row = grad.accumulate(id);
+        for (auto& v : row) {
+          // Mix of zero, tied, and random magnitudes (adversarial ties).
+          const auto kind = gen.next_below(3);
+          v = kind == 0 ? 0.0f
+              : kind == 1
+                  ? 1.0f
+                  : static_cast<float>(gen.next_double(-2.0, 2.0));
+        }
+      }
+
+      // Predict the folded values with the same float ops the selector
+      // performs, then let it select.
+      ShadowResiduals folded;
+      for (const std::int32_t id : grad.sorted_ids()) {
+        const auto row = grad.row(id);
+        std::vector<float> value(row.begin(), row.end());
+        const auto it = shadow.find(id);
+        if (it != shadow.end()) {
+          for (std::size_t i = 0; i < value.size(); ++i) {
+            value[i] += it->second[i];
+          }
+        }
+        folded.emplace(id, std::move(value));
+      }
+
+      selector.apply(grad, select_rng, mode);
+      check_conservation(grad, selector, folded);
+
+      // Roll the shadow forward: parked-and-untouched rows persist,
+      // touched rows either delivered (gone) or re-parked (folded value).
+      for (auto& [id, value] : folded) {
+        if (grad.has(id)) {
+          shadow.erase(id);
+        } else {
+          shadow[id] = value;
+        }
+      }
+      ASSERT_EQ(selector.pending_rows(), shadow.size());
+    }
+  }
+}
+
+TEST(GradSelector, ModeSwitchSharesOneResidualMap) {
+  // The dynamic Top-K arm switches selection per epoch on ONE selector;
+  // mass parked by one mode must be redelivered by the next.
+  GradSelector selector(SelectionMode::kTopK, /*residuals=*/true,
+                        /*topk_k=*/1);
+  util::Rng rng(3);
+  auto step1 = make_grad({1.0f, 5.0f});
+  selector.apply(step1, rng, SelectionMode::kTopK);
+  ASSERT_FALSE(step1.has(0));  // parked under Top-K
+  ASSERT_EQ(selector.pending_rows(), 1u);
+
+  kge::SparseGrad step2(4);
+  step2.accumulate(0)[0] = 1.0f;
+  selector.apply(step2, rng, SelectionMode::kAverageThreshold);
+  ASSERT_TRUE(step2.has(0));
+  EXPECT_FLOAT_EQ(step2.row(0)[0], 2.0f);  // 1 fresh + 1 residual
+  EXPECT_EQ(selector.pending_rows(), 0u);
+}
+
+TEST(GradSelector, TopKResidualsRotateStarvedRows) {
+  // All-equal fresh gradients with k=1: error feedback grows the parked
+  // rows' norms until each one wins in turn — no row is starved forever.
+  GradSelector selector(SelectionMode::kTopK, /*residuals=*/true,
+                        /*topk_k=*/1);
+  util::Rng rng(4);
+  std::vector<bool> delivered(3, false);
+  for (int step = 0; step < 6; ++step) {
+    auto grad = make_grad({1.0f, 1.0f, 1.0f});
+    selector.apply(grad, rng);
+    for (std::int32_t id = 0; id < 3; ++id) {
+      if (grad.has(id)) delivered[static_cast<std::size_t>(id)] = true;
+    }
+  }
+  EXPECT_TRUE(delivered[0]);
+  EXPECT_TRUE(delivered[1]);
+  EXPECT_TRUE(delivered[2]);
 }
 
 }  // namespace

@@ -1,4 +1,4 @@
-// Property-based tests for the training-snapshot format ("DKGS" v2):
+// Property-based tests for the training-snapshot format ("DKGS" v3):
 // random snapshots must round-trip byte-exactly, and corrupted inputs —
 // truncations, bit flips, tag tampering, version skew — must fail loudly
 // with an error naming the file and what was expected, never read garbage.
@@ -271,7 +271,7 @@ TEST_F(SnapshotTest, VersionMismatchNamesExpectedAndFound) {
     FAIL() << "wrong version was accepted";
   } catch (const std::runtime_error& error) {
     const std::string what = error.what();
-    EXPECT_NE(what.find("expected 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 3"), std::string::npos) << what;
     EXPECT_NE(what.find("found 9"), std::string::npos) << what;
     EXPECT_NE(what.find("v.dkgs"), std::string::npos) << what;
   }

@@ -44,6 +44,22 @@ TEST(StrategyConfig, CombinedPresetEnablesEverything) {
   EXPECT_TRUE(full.sample_selection_active());
 }
 
+TEST(StrategyConfig, TopKPresetsShareTheRsTransportAndForceFeedback) {
+  const auto topk = StrategyConfig::topk(128);
+  EXPECT_EQ(topk.selection, SelectionMode::kTopK);
+  EXPECT_EQ(topk.comm, CommMode::kAllGather);
+  EXPECT_EQ(topk.topk_k, 128);
+  // Top-K without residuals would simply drop the (rows - k) tail, so
+  // the preset always turns error feedback on.
+  EXPECT_TRUE(topk.selection_residual);
+
+  const auto drs_topk = StrategyConfig::drs_topk(64);
+  EXPECT_EQ(drs_topk.comm, CommMode::kDynamic);
+  EXPECT_TRUE(drs_topk.dynamic_topk_arm);
+  EXPECT_TRUE(drs_topk.selection_residual);
+  EXPECT_EQ(drs_topk.topk_k, 64);
+}
+
 TEST(StrategyConfig, LabelsMatchPaperNomenclature) {
   EXPECT_EQ(StrategyConfig::baseline_allreduce().label(), "allreduce");
   EXPECT_EQ(StrategyConfig::baseline_allgather().label(), "allgather");
@@ -53,12 +69,15 @@ TEST(StrategyConfig, LabelsMatchPaperNomenclature) {
   EXPECT_EQ(StrategyConfig::drs_1bit().label(), "DRS+1-bit");
   EXPECT_EQ(StrategyConfig::rs_1bit_rp_ss(10).label(), "RS+1-bit+RP+SS");
   EXPECT_EQ(StrategyConfig::drs_1bit_rp_ss(5).label(), "DRS+1-bit+RP+SS");
+  EXPECT_EQ(StrategyConfig::topk(64).label(), "TopK");
+  EXPECT_EQ(StrategyConfig::drs_topk(64).label(), "DRS+TopK-arm");
 }
 
 TEST(StrategyConfig, EnumNames) {
   EXPECT_STREQ(to_string(CommMode::kDynamic), "dynamic");
   EXPECT_STREQ(to_string(SelectionMode::kBernoulli), "random-selection");
   EXPECT_STREQ(to_string(SelectionMode::kAverageTenth), "averagex0.1");
+  EXPECT_STREQ(to_string(SelectionMode::kTopK), "topk");
   EXPECT_STREQ(to_string(QuantMode::kOneBit), "1-bit");
   EXPECT_STREQ(to_string(OneBitScale::kMax), "max");
   EXPECT_STREQ(to_string(OneBitScale::kNegMean), "negavg");

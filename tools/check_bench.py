@@ -234,6 +234,20 @@ HOGWILD_GATES = [gate
     g("hogwild.p1.mrr"),
 ]
 
+# Top-K vs RS at equal kept-bytes. topk_k is derived in-run from the RS
+# epoch log (deterministic), so it gates exactly alongside the headline
+# "topk_mrr_ge_rs" claim.
+TOPK_VS_RS_GATES = [gate
+                    for v in ("rs", "topk")
+                    for gate in (c(f"{v}.epochs", "near", EPOCH_TOL),
+                                 g(f"{v}.tca"), g(f"{v}.mrr"),
+                                 g(f"{v}.mean_rows_sent"))] + [
+    c("topk_k"),
+    g("kept_rows_ratio"),
+    f("kept_bytes_matched"),
+    f("topk_mrr_ge_rs"),
+]
+
 # The sweep itself depends on the host's core count, so only the
 # pool-size-independent outputs gate.
 HOST_PARALLELISM_GATES = [
@@ -270,6 +284,7 @@ GATE_SETS = {
     "ablation_parameter_server": PS_GATES,
     "ablation_feedback": FEEDBACK_GATES,
     "ablation_hogwild": HOGWILD_GATES,
+    "topk_vs_rs": TOPK_VS_RS_GATES,
     "host_parallelism": HOST_PARALLELISM_GATES,
     "obs_overhead": OBS_OVERHEAD_GATES,
     # Timing-only micro benches: emit for the artifact trail, nothing is

@@ -52,6 +52,25 @@
 //                                       instead (atomicity harness)
 //                   [--kill-in-recovery N]  test hook: SIGKILL self in the
 //                                       middle of the N-th elastic rebuild
+//                   [--select dense|rs|topk]  override the strategy's
+//                                       gradient selection (topk = entity-
+//                                       wise Top-K by accumulated row norm
+//                                       with error feedback)
+//                   [--topk-k N]        rows each rank keeps per step under
+//                                       Top-K selection
+//                   [--drs-topk-arm]    let the DRS probe schedule compare
+//                                       a Top-K arm against the strategy's
+//                                       base selection (needs a drs*
+//                                       strategy and --topk-k)
+//                   [--trainer hogwild|federated]  alternative trainers;
+//                                       federated adds:
+//                   [--clients M]       simulated clients, each holding a
+//                                       private triple shard (default 2)
+//                   [--local-epochs E]  local SGD passes per round (1)
+//                   [--rounds R]        aggregation rounds (default 10)
+//                                       (faults/elastic flags above apply;
+//                                       exit 3 when a client crash exceeds
+//                                       the --max-rank-failures budget)
 //                   [--save-model file] [--report file.json]
 //   dynkge analyze  --trace t.json --events e.jsonl        critical-path +
 //                   [--json] [--out file]                  strategy-decision
@@ -125,6 +144,7 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "core/federated.hpp"
 #include "core/hogwild_trainer.hpp"
 #include "core/report_json.hpp"
 #include "core/strategy_config.hpp"
@@ -188,6 +208,31 @@ core::StrategyConfig strategy_by_name(const std::string& name,
   throw std::invalid_argument("unknown strategy: " + name);
 }
 
+/// --select / --topk-k / --drs-topk-arm override whatever selection the
+/// strategy preset chose (the trainer validates the combination by flag
+/// name).
+void apply_selection_flags(const util::ArgParser& args,
+                           core::StrategyConfig& strategy) {
+  const std::string select = args.get_string("select", "");
+  if (!select.empty()) {
+    if (select == "dense") {
+      strategy.selection = core::SelectionMode::kNone;
+    } else if (select == "rs") {
+      strategy.selection = core::SelectionMode::kBernoulli;
+      strategy.selection_residual = true;
+    } else if (select == "topk") {
+      strategy.selection = core::SelectionMode::kTopK;
+      strategy.selection_residual = true;
+    } else {
+      throw std::invalid_argument("unknown --select: " + select +
+                                  " (expected dense|rs|topk)");
+    }
+  }
+  strategy.topk_k =
+      static_cast<int>(args.get_int("topk-k", strategy.topk_k));
+  if (args.get_bool("drs-topk-arm", false)) strategy.dynamic_topk_arm = true;
+}
+
 int cmd_generate(const util::ArgParser& args) {
   const std::string out = args.get_string("out", "");
   if (out.empty()) {
@@ -242,12 +287,123 @@ int cmd_train_hogwild(const util::ArgParser& args,
   return 0;
 }
 
+int cmd_train_federated(const util::ArgParser& args,
+                        const kge::Dataset& dataset) {
+  core::FederatedConfig config;
+  config.model_name = args.get_string("model", "complex");
+  config.embedding_rank =
+      static_cast<std::int32_t>(args.get_int("rank", 32));
+  config.negatives = static_cast<int>(args.get_int("negatives", 4));
+  config.lr.base_lr = args.get_double("lr", 0.05);
+  config.lr.tolerance = static_cast<int>(args.get_int("tolerance", 15));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
+  config.host_threads = static_cast<int>(args.get_int("host-threads", 0));
+  config.policy.num_clients = static_cast<int>(args.get_int("clients", 2));
+  config.policy.local_epochs =
+      static_cast<int>(args.get_int("local-epochs", 1));
+  config.policy.rounds = static_cast<int>(args.get_int("rounds", 10));
+  config.policy.elastic.enabled = args.get_bool("elastic", false);
+  config.policy.elastic.max_rank_failures =
+      static_cast<int>(args.get_int("max-rank-failures", 0));
+  // Default exchange: random selection with error feedback; --select /
+  // --topk-k switch it (the transport is parameter-server regardless).
+  config.strategy = core::StrategyConfig::rs(config.negatives);
+  apply_selection_flags(args, config.strategy);
+
+  std::unique_ptr<comm::FaultInjector> faults;
+  const std::string fault_spec = args.get_string("fault-spec", "");
+  if (!fault_spec.empty()) {
+    comm::RetryPolicy retry;
+    retry.max_attempts =
+        static_cast<int>(args.get_int("fault-retry-limit", 4));
+    retry.backoff_seconds = args.get_double("fault-backoff-base", 1e-3);
+    faults = std::make_unique<comm::FaultInjector>(
+        comm::FaultInjector::parse_spec(fault_spec), retry);
+    config.fault_injector = faults.get();
+  }
+
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::TraceWriter> trace;
+  std::unique_ptr<obs::EventLog> events;
+  const std::string metrics_path = args.get_string("metrics-out", "");
+  const std::string trace_path = args.get_string("trace-out", "");
+  const std::string events_path = args.get_string("events-out", "");
+  if (!metrics_path.empty()) {
+    metrics = std::make_unique<obs::MetricsRegistry>();
+    config.telemetry.metrics = metrics.get();
+  }
+  if (!trace_path.empty()) {
+    trace = std::make_unique<obs::TraceWriter>();
+    config.telemetry.trace = trace.get();
+  }
+  if (!events_path.empty()) {
+    events = std::make_unique<obs::EventLog>(events_path);
+    config.telemetry.events = events.get();
+  }
+
+  std::cout << "training federated " << config.strategy.label() << " ("
+            << config.model_name << ", rank " << config.embedding_rank
+            << ") on " << config.policy.num_clients << " clients, "
+            << config.policy.local_epochs << " local epochs x "
+            << config.policy.rounds << " rounds...\n";
+  core::FederatedReport report;
+  try {
+    report = core::FederatedTrainer(dataset, config).train();
+  } catch (const comm::RankFailedError& error) {
+    // Same contract as the distributed trainer: a client crash beyond the
+    // elastic budget is exit 3, distinct from bad flags.
+    std::cerr << "dynkge train: " << error.what() << "\n";
+    return 3;
+  }
+  if (report.recoveries > 0) {
+    std::cout << "elastic: " << report.recoveries << " recoveries from "
+              << report.client_failures << " client failures, finished on "
+              << report.active_clients << " of " << report.num_clients
+              << " clients\n";
+  }
+  std::cout << "rounds: " << report.rounds
+            << "  TT(sim): " << report.total_sim_seconds << " s"
+            << "  TCA: " << report.tca << " %"
+            << "  MRR: " << report.ranking.mrr << "\n"
+            << "replicas consistent: "
+            << (report.replicas_consistent ? "yes" : "NO") << "\n";
+
+  const std::string model_path = args.get_string("save-model", "");
+  if (!model_path.empty()) {
+    kge::save_model(*report.model, model_path);
+    std::cout << "model written to " << model_path << "\n";
+  }
+  if (metrics != nullptr) {
+    obs::write_metrics(*metrics, metrics_path);
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
+  if (trace != nullptr) {
+    trace->write(trace_path);
+    std::cout << "trace written to " << trace_path << "\n";
+  }
+  if (events != nullptr) {
+    events->flush();
+    std::cout << "events written to " << events_path << " ("
+              << events->lines_written() << " lines)\n";
+  }
+  return 0;
+}
+
 int cmd_train(const util::ArgParser& args) {
   const kge::Dataset dataset = dataset_from_flags(args);
   std::cout << dataset.summary("dataset") << "\n";
 
-  if (args.get_string("trainer", "distributed") == "hogwild") {
+  const std::string trainer = args.get_string("trainer", "distributed");
+  if (trainer == "hogwild") {
     return cmd_train_hogwild(args, dataset);
+  }
+  if (trainer == "federated") {
+    return cmd_train_federated(args, dataset);
+  }
+  if (trainer != "distributed") {
+    throw std::invalid_argument(
+        "unknown --trainer: " + trainer +
+        " (expected distributed|hogwild|federated)");
   }
 
   core::TrainConfig config;
@@ -269,6 +425,7 @@ int cmd_train(const util::ArgParser& args) {
       static_cast<int>(args.get_int("ss-sampled", 8)));
   config.strategy.dynamic_probe_interval = static_cast<int>(args.get_int(
       "probe-interval", config.strategy.dynamic_probe_interval));
+  apply_selection_flags(args, config.strategy);
 
   // Fault tolerance: periodic snapshots + resume, injected faults, and
   // elastic shrink-world recovery.
