@@ -1,10 +1,44 @@
 #include "comm/communicator.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <exception>
 #include <thread>
 
 namespace dynkge::comm {
+namespace {
+
+/// FNV-1a over a payload, extended over the publishing rank's scalar slot
+/// so zero-byte collectives (barrier, allreduce_scalar) are covered by the
+/// same digest. Zero simulated seconds are charged for this — see
+/// DESIGN.md §13 for why that keeps checksummed runs byte-identical.
+std::uint64_t integrity_hash(const std::byte* data, std::size_t bytes,
+                             double scalar) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= static_cast<std::uint64_t>(data[i]);
+    hash *= 0x100000001b3ULL;
+  }
+  std::uint64_t scalar_bits = 0;
+  std::memcpy(&scalar_bits, &scalar, sizeof(scalar_bits));
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (scalar_bits >> (8 * i)) & 0xFFu;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Flip the low bit of a double's mantissa (the corruption a flaky link
+/// would inflict on a scalar payload).
+double flip_low_bit(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  bits ^= 1ULL;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
 
 void Barrier::arrive_and_wait() {
   std::unique_lock<std::mutex> lock(mu_);
@@ -36,10 +70,86 @@ void Barrier::abort() {
 }
 
 void Communicator::publish_and_sync(const std::byte* data, std::size_t bytes) {
-  state_.ptr[rank_] = data;
-  state_.size[rank_] = bytes;
   state_.clock[rank_] = sim_now_;
-  state_.barrier.arrive_and_wait();
+  if (injector_ == nullptr) {
+    state_.ptr[rank_] = data;
+    state_.size[rank_] = bytes;
+    state_.barrier.arrive_and_wait();
+    return;
+  }
+
+  // Wire-integrity path (armed by attaching any injector, even an empty
+  // schedule — the CLI's --wire-checksums). The digest is computed over
+  // the payload this rank *intends* to send plus its scalar slot, before
+  // any corruption; a scheduled kCorrupt fault publishes a bit-flipped
+  // copy instead for its first rounds. After the publish barrier, every
+  // rank verifies every slot against its checksum over identical shared
+  // state, so all ranks reach the same verdict: clean -> proceed,
+  // corrupt -> a separator barrier (re-publishing must not race ranks
+  // still verifying) and another round, budget exhausted -> the
+  // corrupting rank dies with RankFailedError and the rest unwind with
+  // AbortedError (aggregated by Cluster::run like any rank death).
+  const int corrupt_sends = pending_corrupt_sends_;
+  pending_corrupt_sends_ = 0;
+  const double clean_scalar = state_.scalar[rank_];
+  const std::uint64_t clean_hash = integrity_hash(data, bytes, clean_scalar);
+  const RetryPolicy& policy = injector_->policy();
+  double backoff = policy.backoff_seconds;
+  int round = 0;
+  while (true) {
+    const bool corrupt_now = round < corrupt_sends;
+    if (corrupt_now) {
+      injector_->record_corrupted_payload();
+      if (bytes > 0) {
+        corrupt_scratch_.assign(data, data + bytes);
+        corrupt_scratch_[0] ^= std::byte{0x01};
+        state_.ptr[rank_] = corrupt_scratch_.data();
+      } else {
+        // Zero-byte payload (barrier / scalar collective): corrupt the
+        // scalar slot instead, restored on retransmit.
+        state_.ptr[rank_] = data;
+        state_.scalar[rank_] = flip_low_bit(clean_scalar);
+      }
+    } else {
+      state_.ptr[rank_] = data;
+      state_.scalar[rank_] = clean_scalar;
+    }
+    state_.size[rank_] = bytes;
+    state_.checksum[rank_] = clean_hash;
+    state_.barrier.arrive_and_wait();
+
+    bool any_bad = false;
+    bool self_bad = false;
+    for (int r = 0; r < num_ranks_; ++r) {
+      const std::uint64_t got =
+          integrity_hash(state_.ptr[r], state_.size[r], state_.scalar[r]);
+      if (got != state_.checksum[r]) {
+        any_bad = true;
+        if (r == rank_) self_bad = true;
+      }
+    }
+    if (!any_bad) return;
+
+    // Corruption caught. The corrupting rank records detection (once, so
+    // corrupted == detected stays exact) and either retransmits or dies.
+    if (self_bad) injector_->record_corruption_detected();
+    if (round + 1 >= policy.max_attempts) {
+      if (self_bad) {
+        injector_->record_retransmit_exhausted();
+        throw RankFailedError(
+            rank_, "corrupted payload at collective #" +
+                       std::to_string(collective_index_ - 1) +
+                       " persisted through " +
+                       std::to_string(policy.max_attempts) + " attempts");
+      }
+      throw AbortedError{};
+    }
+    if (self_bad) injector_->record_retransmit(backoff);
+    backoff *= policy.backoff_multiplier;
+    // Separator: nobody re-publishes until everyone finished verifying.
+    state_.barrier.arrive_and_wait();
+    ++round;
+  }
 }
 
 void Communicator::align_clock() {

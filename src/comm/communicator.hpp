@@ -83,6 +83,7 @@ struct SharedState {
         size(num_ranks, 0),
         clock(num_ranks, 0.0),
         scalar(num_ranks, 0.0),
+        checksum(num_ranks, 0),
         fault(num_ranks) {}
 
   Barrier barrier;
@@ -90,6 +91,11 @@ struct SharedState {
   std::vector<std::size_t> size;
   std::vector<double> clock;
   std::vector<double> scalar;
+  /// FNV-1a digest of the rank's *intended* payload (+ scalar slot),
+  /// published alongside it when a fault injector arms wire integrity.
+  /// Receivers verify every slot against it — see
+  /// Communicator::publish_and_sync.
+  std::vector<std::uint64_t> checksum;
   /// Per-rank fatal-fault verdicts for the current collective's entry
   /// phase (see Communicator::check_faults). Each rank writes only its own
   /// slot before the verdict barrier and reads the others after it.
@@ -215,9 +221,9 @@ class Communicator {
     const std::uint64_t index = collective_index_++;
     if (injector_ == nullptr) return;
     std::exception_ptr my_fault;
-    double delay = 0.0;
+    CollectiveFault fault;
     try {
-      delay = injector_->before_collective(rank_, index, fault_epoch_);
+      fault = injector_->before_collective(rank_, index, fault_epoch_);
     } catch (const RankFailedError&) {
       my_fault = std::current_exception();
     }
@@ -227,11 +233,28 @@ class Communicator {
     for (int r = 0; r < num_ranks_; ++r) {
       if (state_.fault[r] != nullptr) throw AbortedError{};
     }
-    if (delay > 0.0) sim_add_compute(delay);
+    if (fault.straggler_seconds > 0.0) {
+      sim_add_compute(fault.straggler_seconds);
+    }
+    // Consumed by the integrity loop of this collective's publish.
+    pending_corrupt_sends_ = fault.corrupt_sends;
   }
 
   /// Publish this rank's payload + clock, wait for siblings, and return.
   /// After this returns, all ranks' slots are readable.
+  ///
+  /// With a fault injector attached, wire integrity is armed: every
+  /// publish carries an FNV-1a checksum of the intended payload (extended
+  /// over the rank's scalar slot, so scalar collectives are covered too),
+  /// a scheduled kCorrupt fault makes this rank publish a bit-flipped
+  /// copy instead, and after the publish barrier every rank verifies
+  /// every slot against its checksum. All ranks verify identical shared
+  /// state, so the verdict is deterministic: on a mismatch the corrupter
+  /// retransmits (a further publish round under the RetryPolicy, backoff
+  /// modeled on the injector — the simulated clock is never charged, so
+  /// recovered corruption keeps results byte-identical), and once the
+  /// retry budget is exhausted the corrupting rank throws RankFailedError
+  /// while the others unwind with AbortedError.
   void publish_and_sync(const std::byte* data, std::size_t bytes);
 
   /// Align the simulated clock to the cluster max (slots must be synced).
@@ -251,6 +274,12 @@ class Communicator {
   FaultInjector* injector_ = nullptr;
   std::uint64_t collective_index_ = 0;
   int fault_epoch_ = -1;
+  /// Rounds the next publish bit-flips its payload (set by check_faults
+  /// from a kCorrupt event, consumed by publish_and_sync).
+  int pending_corrupt_sends_ = 0;
+  /// Scratch for the corrupted copy (the caller's buffer is const and
+  /// must be retransmittable untouched).
+  std::vector<std::byte> corrupt_scratch_;
 };
 
 /// Owns the simulated cluster: executes one rank program per rank on a

@@ -20,9 +20,11 @@ FaultKind kind_by_name(const std::string& name) {
   if (name == "crash") return FaultKind::kRankCrash;
   if (name == "transient") return FaultKind::kTransient;
   if (name == "straggler") return FaultKind::kStraggler;
+  if (name == "corrupt") return FaultKind::kCorrupt;
+  if (name == "hang") return FaultKind::kHang;
   throw std::invalid_argument(
       "FaultInjector: unknown fault kind '" + name +
-      "' (expected crash|transient|straggler)");
+      "' (expected crash|transient|straggler|corrupt|hang)");
 }
 
 /// Where an event fires, for error messages: "collective #12" or
@@ -70,16 +72,25 @@ const char* to_string(FaultKind kind) {
       return "transient";
     case FaultKind::kStraggler:
       return "straggler";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kHang:
+      return "hang";
   }
   return "?";
 }
 
 FaultInjector::FaultInjector(std::vector<FaultEvent> schedule,
-                             RetryPolicy policy)
-    : policy_(policy) {
+                             RetryPolicy policy, double collective_deadline)
+    : policy_(policy), collective_deadline_(collective_deadline) {
   if (policy_.max_attempts < 1) {
     throw std::invalid_argument(
         "FaultInjector: RetryPolicy::max_attempts must be >= 1");
+  }
+  if (collective_deadline_ < 0.0) {
+    throw std::invalid_argument(
+        "FaultInjector: collective deadline must be >= 0 "
+        "(--collective-deadline)");
   }
   for (const FaultEvent& event : schedule) {
     if (event.rank < 0) {
@@ -87,6 +98,13 @@ FaultInjector::FaultInjector(std::vector<FaultEvent> schedule,
     }
     if (event.collective_index >= kRankStride) {
       throw std::invalid_argument("FaultInjector: collective index too large");
+    }
+    if (event.kind == FaultKind::kHang && collective_deadline_ <= 0.0) {
+      // Without a deadline a hang would never terminate on a real cluster;
+      // the simulation refuses to schedule one it cannot detect.
+      throw std::invalid_argument(
+          "FaultInjector: a hang fault needs a deadline watchdog "
+          "(--collective-deadline)");
     }
     if (event.epoch >= 0) {
       epoch_events_[key(event.rank,
@@ -164,6 +182,10 @@ std::vector<FaultEvent> FaultInjector::parse_spec(const std::string& spec) {
         event.collective_index = std::stoull(parts[2]);
       }
       if (parts.size() == 4) {
+        if (event.kind == FaultKind::kHang) {
+          // A hang has no parameter — it either completes or it doesn't.
+          throw std::invalid_argument("hang takes no parameter");
+        }
         if (event.kind == FaultKind::kStraggler) {
           event.delay_seconds = std::stod(parts[3]);
         } else {
@@ -182,8 +204,9 @@ std::vector<FaultEvent> FaultInjector::parse_spec(const std::string& spec) {
   return schedule;
 }
 
-double FaultInjector::before_collective(int rank, std::uint64_t index,
-                                        int epoch) {
+CollectiveFault FaultInjector::before_collective(int rank,
+                                                std::uint64_t index,
+                                                int epoch) {
   const Scheduled* hit = nullptr;
   if (!events_.empty()) {
     const auto it = events_.find(key(rank, index));
@@ -194,16 +217,16 @@ double FaultInjector::before_collective(int rank, std::uint64_t index,
         epoch_events_.find(key(rank, static_cast<std::uint64_t>(epoch)));
     if (it != epoch_events_.end()) hit = &it->second;
   }
-  if (hit == nullptr) return 0.0;
+  if (hit == nullptr) return {};
   // One-shot: after elastic recovery the rank-local indices restart, and a
   // consumed event must not fire again on the rank that inherits the id.
   if (fired_[hit->slot].exchange(true, std::memory_order_relaxed)) {
-    return 0.0;
+    return {};
   }
   return fire(*hit, rank);
 }
 
-double FaultInjector::fire(const Scheduled& scheduled, int rank) {
+CollectiveFault FaultInjector::fire(const Scheduled& scheduled, int rank) {
   const FaultEvent& event = scheduled.event;
   switch (event.kind) {
     case FaultKind::kRankCrash: {
@@ -238,15 +261,64 @@ double FaultInjector::fire(const Scheduled& scheduled, int rank) {
       if (m_retries_ != nullptr) {
         m_retries_->add(static_cast<std::uint64_t>(event.failures));
       }
-      return 0.0;
+      return {};
     }
     case FaultKind::kStraggler: {
+      if (collective_deadline_ > 0.0 &&
+          event.delay_seconds > collective_deadline_) {
+        // Pathological straggler: past the per-collective budget it is
+        // indistinguishable from a hang, so the watchdog converts it into
+        // a deterministic rank death instead of stalling the cluster.
+        watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+        if (m_watchdog_ != nullptr) m_watchdog_->add(1);
+        throw RankFailedError(
+            rank, "watchdog: straggler at " + site_of(event) + " stalled " +
+                      std::to_string(event.delay_seconds) +
+                      " s, past the collective deadline of " +
+                      std::to_string(collective_deadline_) + " s");
+      }
       stragglers_.fetch_add(1, std::memory_order_relaxed);
       if (m_stragglers_ != nullptr) m_stragglers_->add(1);
-      return event.delay_seconds;
+      return {event.delay_seconds, 0};
+    }
+    case FaultKind::kCorrupt: {
+      // The Communicator's checksum loop does the flipping, detection and
+      // retransmit accounting; here we only hand it the round count.
+      return {0.0, event.failures};
+    }
+    case FaultKind::kHang: {
+      watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+      if (m_watchdog_ != nullptr) m_watchdog_->add(1);
+      throw RankFailedError(
+          rank, "watchdog: collective hung at " + site_of(event) +
+                    " past the collective deadline of " +
+                    std::to_string(collective_deadline_) + " s");
     }
   }
-  return 0.0;
+  return {};
+}
+
+void FaultInjector::record_corrupted_payload() {
+  corrupted_payloads_.fetch_add(1, std::memory_order_relaxed);
+  if (m_corrupted_ != nullptr) m_corrupted_->add(1);
+}
+
+void FaultInjector::record_corruption_detected() {
+  corruptions_detected_.fetch_add(1, std::memory_order_relaxed);
+  if (m_detected_ != nullptr) m_detected_->add(1);
+}
+
+void FaultInjector::record_retransmit(double backoff_seconds) {
+  retransmits_.fetch_add(1, std::memory_order_relaxed);
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(backoff_seconds_, backoff_seconds);
+  if (m_retransmits_ != nullptr) m_retransmits_->add(1);
+  if (m_retries_ != nullptr) m_retries_->add(1);
+}
+
+void FaultInjector::record_retransmit_exhausted() {
+  exhausted_.fetch_add(1, std::memory_order_relaxed);
+  if (m_exhausted_ != nullptr) m_exhausted_->add(1);
 }
 
 FaultCounters FaultInjector::counters() const {
@@ -257,6 +329,12 @@ FaultCounters FaultInjector::counters() const {
   counters.retries = retries_.load(std::memory_order_relaxed);
   counters.exhausted = exhausted_.load(std::memory_order_relaxed);
   counters.backoff_seconds = backoff_seconds_.load(std::memory_order_relaxed);
+  counters.corrupted_payloads =
+      corrupted_payloads_.load(std::memory_order_relaxed);
+  counters.corruptions_detected =
+      corruptions_detected_.load(std::memory_order_relaxed);
+  counters.retransmits = retransmits_.load(std::memory_order_relaxed);
+  counters.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
   return counters;
 }
 
@@ -264,7 +342,7 @@ void FaultInjector::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
   if (metrics == nullptr) {
     m_crashes_ = m_transients_ = m_stragglers_ = m_retries_ = m_exhausted_ =
-        nullptr;
+        m_corrupted_ = m_detected_ = m_retransmits_ = m_watchdog_ = nullptr;
     return;
   }
   m_crashes_ = &metrics->counter("comm.fault.crashes");
@@ -272,6 +350,10 @@ void FaultInjector::set_metrics(obs::MetricsRegistry* metrics) {
   m_stragglers_ = &metrics->counter("comm.fault.stragglers");
   m_retries_ = &metrics->counter("comm.fault.retries");
   m_exhausted_ = &metrics->counter("comm.fault.retry_exhausted");
+  m_corrupted_ = &metrics->counter("comm.integrity.corrupted_payloads");
+  m_detected_ = &metrics->counter("comm.integrity.corruptions_detected");
+  m_retransmits_ = &metrics->counter("comm.integrity.retransmits");
+  m_watchdog_ = &metrics->counter("comm.integrity.watchdog_trips");
 }
 
 }  // namespace dynkge::comm

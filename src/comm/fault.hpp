@@ -24,7 +24,26 @@
 //  * kStraggler  — the rank's simulated clock is advanced by
 //    `delay_seconds` before the collective, so the cluster-max clock
 //    alignment stalls every sibling — exactly what a slow rank does to a
-//    synchronous collective.
+//    synchronous collective. With a collective deadline configured, a
+//    straggler whose delay exceeds the deadline trips the watchdog and
+//    escalates to RankFailedError instead.
+//
+//  * kCorrupt    — the rank publishes a bit-flipped payload for its first
+//    `failures` attempts at the collective. Attaching any injector arms
+//    per-collective FNV-1a payload checksums in the Communicator; every
+//    rank verifies every published slot against its checksum (identical
+//    shared state, so the verdict is deterministic), the corrupter
+//    retransmits under the RetryPolicy, and exhausting the budget
+//    escalates to RankFailedError. Detection/retransmit accounting lives
+//    on the injector, not the training clock, so a recovered corruption
+//    leaves results byte-identical to a clean run.
+//
+//  * kHang       — the collective never completes on that rank. A hang is
+//    only meaningful with a collective deadline (the injector refuses the
+//    schedule otherwise, naming --collective-deadline): the deadline
+//    watchdog converts the hang into a deterministic RankFailedError at
+//    the verdict phase, so elastic recovery can absorb it — the simulated
+//    cluster never actually blocks.
 //
 // Thread safety: before_collective is called concurrently from all rank
 // threads; the schedule is immutable after construction and the counters
@@ -95,9 +114,18 @@ enum class FaultKind : std::uint8_t {
   kRankCrash,   ///< rank dies at the collective; siblings unwind via abort
   kTransient,   ///< collective fails `failures` times, then succeeds
   kStraggler,   ///< rank stalls `delay_seconds` of simulated time
+  kCorrupt,     ///< rank bit-flips its payload for `failures` attempts
+  kHang,        ///< collective never completes; needs a deadline watchdog
 };
 
 const char* to_string(FaultKind kind);
+
+/// What the fault schedule asks of one rank at one collective (the
+/// non-fatal outcomes of before_collective; fatal ones throw).
+struct CollectiveFault {
+  double straggler_seconds = 0.0;  ///< simulated stall to apply
+  int corrupt_sends = 0;  ///< attempts publishing a bit-flipped payload
+};
 
 /// One scheduled fault: fires on `rank` at its `collective_index`-th
 /// collective (rank-local, 0-based — deterministic regardless of host
@@ -114,7 +142,7 @@ struct FaultEvent {
   FaultKind kind = FaultKind::kTransient;
   int rank = 0;
   std::uint64_t collective_index = 0;
-  int failures = 1;            ///< transient: failed attempts before success
+  int failures = 1;            ///< transient/corrupt: failed attempts
   double delay_seconds = 0.1;  ///< straggler: simulated stall
   int epoch = -1;              ///< >= 0: fire on the first collective of
                                ///< this epoch instead of by index
@@ -133,14 +161,28 @@ struct FaultCounters {
   std::uint64_t transients = 0;  ///< transient events recovered by retry
   std::uint64_t stragglers = 0;  ///< straggler delays applied
   std::uint64_t retries = 0;     ///< individual retry attempts
-  std::uint64_t exhausted = 0;   ///< transients escalated to RankFailed
+  std::uint64_t exhausted = 0;   ///< faults escalated to RankFailed
   double backoff_seconds = 0.0;  ///< total modeled backoff spent
+  // Wire-integrity accounting (recorded by the Communicator's checksum
+  // verify loop). Zero silent corruption is the machine-checked invariant
+  // corrupted_payloads == corruptions_detected.
+  std::uint64_t corrupted_payloads = 0;    ///< bit-flipped publishes
+  std::uint64_t corruptions_detected = 0;  ///< checksum mismatches caught
+  std::uint64_t retransmits = 0;           ///< re-publishes after detection
+  std::uint64_t watchdog_trips = 0;        ///< hangs/stragglers past the
+                                           ///< collective deadline
 };
 
 class FaultInjector {
  public:
+  /// `collective_deadline` (simulated seconds, 0 = no watchdog) is the
+  /// per-collective budget the deadline watchdog enforces: a kHang event
+  /// or a kStraggler whose delay exceeds it becomes a deterministic
+  /// RankFailedError. A schedule containing kHang with no deadline is
+  /// rejected (the hang would otherwise be undetectable).
   explicit FaultInjector(std::vector<FaultEvent> schedule,
-                         RetryPolicy policy = {});
+                         RetryPolicy policy = {},
+                         double collective_deadline = 0.0);
 
   /// A seeded random schedule over `num_ranks` ranks and the first
   /// `horizon` collectives of each: every (rank, index) slot independently
@@ -155,6 +197,8 @@ class FaultInjector {
   ///   crash@RANK@INDEX
   ///   transient@RANK@INDEX[@FAILURES]
   ///   straggler@RANK@INDEX[@DELAY_SECONDS]
+  ///   corrupt@RANK@INDEX[@FAILURES]
+  ///   hang@RANK@INDEX
   /// where INDEX is either a rank-local collective index ("40") or an
   /// epoch address ("e2": first collective of epoch 2 — stable across
   /// restarts and elastic shrink). e.g. "transient@1@40@2,crash@1@e2".
@@ -163,16 +207,31 @@ class FaultInjector {
 
   /// Called by a rank at the entry of its `index`-th collective; `epoch`
   /// is the caller's current training epoch (-1 outside an epoch — epoch-
-  /// scoped events then cannot fire). Returns straggler seconds to add to
-  /// the rank's simulated clock (0 for no fault). Throws RankFailedError
-  /// for crash events and for transient events whose `failures` meets or
-  /// exceeds the retry budget. Each scheduled event fires at most once
-  /// per injector lifetime.
-  double before_collective(int rank, std::uint64_t index, int epoch = -1);
+  /// scoped events then cannot fire). Returns the non-fatal fault to apply
+  /// (straggler seconds for the simulated clock, corrupt publish rounds
+  /// for the checksum loop; all-zero for no fault). Throws RankFailedError
+  /// for crash events, transient events whose `failures` meets or exceeds
+  /// the retry budget, hangs, and stragglers past the collective deadline.
+  /// Each scheduled event fires at most once per injector lifetime.
+  CollectiveFault before_collective(int rank, std::uint64_t index,
+                                    int epoch = -1);
 
   const RetryPolicy& policy() const { return policy_; }
+  double collective_deadline() const { return collective_deadline_; }
   FaultCounters counters() const;
   std::size_t scheduled_events() const { return num_events_; }
+
+  // --- wire-integrity accounting -------------------------------------
+  // Called by the Communicator's checksum loop, on the corrupting rank
+  // only, so corrupted_payloads == corruptions_detected is exact (every
+  // corruption is global-deterministically detected by all ranks, but
+  // recorded once).
+  void record_corrupted_payload();
+  void record_corruption_detected();
+  /// One re-publish after a detected corruption; the backoff is modeled
+  /// on the injector (like transient retries), never the training clock.
+  void record_retransmit(double backoff_seconds);
+  void record_retransmit_exhausted();
 
   /// Optional observability: counters mirrored into `metrics` under
   /// comm.fault.* as they fire. Set before the cluster runs.
@@ -192,9 +251,10 @@ class FaultInjector {
     std::size_t slot = 0;
   };
 
-  double fire(const Scheduled& scheduled, int rank);
+  CollectiveFault fire(const Scheduled& scheduled, int rank);
 
   RetryPolicy policy_;
+  double collective_deadline_ = 0.0;
   std::unordered_map<std::uint64_t, Scheduled> events_;        // by index
   std::unordered_map<std::uint64_t, Scheduled> epoch_events_;  // by epoch
   std::unique_ptr<std::atomic<bool>[]> fired_;
@@ -206,6 +266,10 @@ class FaultInjector {
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> exhausted_{0};
   std::atomic<double> backoff_seconds_{0.0};
+  std::atomic<std::uint64_t> corrupted_payloads_{0};
+  std::atomic<std::uint64_t> corruptions_detected_{0};
+  std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<std::uint64_t> watchdog_trips_{0};
 
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* m_crashes_ = nullptr;
@@ -213,6 +277,10 @@ class FaultInjector {
   obs::Counter* m_stragglers_ = nullptr;
   obs::Counter* m_retries_ = nullptr;
   obs::Counter* m_exhausted_ = nullptr;
+  obs::Counter* m_corrupted_ = nullptr;
+  obs::Counter* m_detected_ = nullptr;
+  obs::Counter* m_retransmits_ = nullptr;
+  obs::Counter* m_watchdog_ = nullptr;
 };
 
 }  // namespace dynkge::comm

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cerrno>
 #include <cmath>
 #include <csignal>
 #include <cstring>
@@ -20,6 +21,7 @@
 #include "core/hard_negatives.hpp"
 #include "core/relation_partition.hpp"
 #include "kge/adam.hpp"
+#include "kge/checkpoint_dir.hpp"
 #include "kge/loss.hpp"
 #include "kge/model_factory.hpp"
 #include "kge/serialize.hpp"
@@ -130,6 +132,21 @@ DistributedTrainer::DistributedTrainer(const kge::Dataset& dataset,
     throw std::invalid_argument(
         "TrainConfig: max rank failures must be >= 0 (--max-rank-failures)");
   }
+  if (config_.collective_deadline < 0.0) {
+    throw std::invalid_argument(
+        "TrainConfig: collective deadline must be >= 0 "
+        "(--collective-deadline)");
+  }
+  if (config_.checkpoint.keep < 1) {
+    throw std::invalid_argument(
+        "TrainConfig: checkpoint keep must be >= 1 (--checkpoint-keep)");
+  }
+  const std::string& on_error = config_.checkpoint.on_error;
+  if (on_error != "fail" && on_error != "skip" && on_error != "retry") {
+    throw std::invalid_argument(
+        "TrainConfig: checkpoint error policy must be fail, skip, or retry "
+        "(--checkpoint-on-error), got '" + on_error + "'");
+  }
   if (s.selection == SelectionMode::kTopK || s.dynamic_topk_arm) {
     if (s.topk_k < 1) {
       throw std::invalid_argument(
@@ -165,15 +182,24 @@ TrainReport DistributedTrainer::train() {
           "TrainConfig::checkpoint: every must be >= 1");
     }
     ::mkdir(ckpt.dir.c_str(), 0755);  // EEXIST is fine
-    const std::string snapshot_file = ckpt.dir + "/snapshot.dkgs";
-    if (ckpt.resume && ::access(snapshot_file.c_str(), F_OK) == 0) {
-      resume_state = std::make_unique<kge::TrainingSnapshot>(
-          kge::load_snapshot(snapshot_file));
-      validate_resume_snapshot(*resume_state, config_.num_nodes);
-      DYNKGE_LOG_INFO("resuming from "
-                      << snapshot_file << " at epoch "
-                      << std::min(resume_state->trainer.next_epoch,
-                                  config_.max_epochs));
+    if (ckpt.resume) {
+      // Scan the directory newest-first, falling back past corrupt
+      // candidates to the next-older valid snapshot (checkpoint_dir.hpp).
+      kge::ResumeScan scan = kge::load_newest_valid_snapshot(ckpt.dir);
+      for (const kge::RejectedSnapshot& r : scan.rejected) {
+        DYNKGE_LOG_INFO("resume: skipping corrupt snapshot " << r.path
+                                                             << ": "
+                                                             << r.error);
+      }
+      if (scan.found) {
+        resume_state = std::make_unique<kge::TrainingSnapshot>(
+            std::move(scan.snapshot));
+        validate_resume_snapshot(*resume_state, config_.num_nodes);
+        DYNKGE_LOG_INFO("resuming from "
+                        << scan.path << " at epoch "
+                        << std::min(resume_state->trainer.next_epoch,
+                                    config_.max_epochs));
+      }
     }
   }
 
@@ -481,6 +507,11 @@ TrainReport DistributedTrainer::run_attempt(int world_size,
     // Snapshots written by earlier runs count toward the persistent total.
     int checkpoints_total =
         resume != nullptr ? resume->trainer.checkpoints_written : 0;
+    // Disk-fault budget (test hook) and last-good retention tracking; rank
+    // 0 is the sole writer, so only its copies are ever consulted.
+    int disk_faults_left =
+        ckpt.test_disk_fault_at_epoch >= 0 ? ckpt.test_disk_fault_attempts : 0;
+    std::string last_good_history;
 
     // Registry instruments are resolved once per rank (find-or-create
     // takes a mutex); recording through the cached pointers is a relaxed
@@ -1026,12 +1057,73 @@ TrainReport DistributedTrainer::run_attempt(int world_size,
             if (epoch == ckpt.test_kill_at_epoch) {
               write_options.test_kill_after_bytes = ckpt.test_kill_mid_write;
             }
-            kge::write_snapshot_bytes(sealed, snapshot_file, write_options);
-            report.checkpoints_written += 1;
-            if (tel.metrics != nullptr) {
-              tel.metrics->counter("train.checkpoints_written").add(1);
+            // Degradation policy (--checkpoint-on-error): "fail" rethrows,
+            // "retry" gets fault_retry_limit attempts with a fresh temp
+            // file each time, and "skip" (or retry exhaustion) logs the
+            // error, keeps the previous snapshot as the resume point, and
+            // lets training continue. The write is host-side and
+            // charge-free either way, so the simulated timeline — and the
+            // final embeddings — are untouched by a failing disk.
+            const int max_attempts =
+                ckpt.on_error == "retry" ? config_.fault_retry_limit : 1;
+            bool written = false;
+            std::string write_error;
+            for (int attempt = 0; attempt < max_attempts && !written;
+                 ++attempt) {
+              write_options.test_write_errno =
+                  (disk_faults_left > 0 &&
+                   ckpt.test_disk_fault_at_epoch >= 0 &&
+                   epoch >= ckpt.test_disk_fault_at_epoch)
+                      ? ENOSPC
+                      : 0;
+              if (write_options.test_write_errno != 0) --disk_faults_left;
+              try {
+                kge::write_snapshot_bytes(sealed, snapshot_file,
+                                          write_options);
+                written = true;
+              } catch (const std::exception& error) {
+                write_error = error.what();
+                if (ckpt.on_error == "fail") throw;
+              }
             }
-            if (epoch == ckpt.test_kill_at_epoch) {
+            if (written) {
+              report.checkpoints_written += 1;
+              if (tel.metrics != nullptr) {
+                tel.metrics->counter("train.checkpoints_written").add(1);
+              }
+              if (ckpt.keep > 1) {
+                // History copy of the same sealed bytes, then prune the
+                // oldest copies beyond the budget — never the last good.
+                const std::string history_file =
+                    ckpt.dir + "/snapshot-e" + std::to_string(epoch) +
+                    ".dkgs";
+                kge::write_snapshot_bytes(sealed, history_file);
+                last_good_history = history_file;
+                kge::prune_snapshots(ckpt.dir, ckpt.keep, last_good_history);
+              }
+            } else {
+              // Degraded: the run keeps training; the previous snapshot
+              // stays the resume point.
+              checkpoints_total -= 1;
+              DYNKGE_LOG_INFO("checkpoint write failed at epoch "
+                              << epoch << " (" << ckpt.on_error
+                              << "): " << write_error);
+              if (tel.metrics != nullptr) {
+                tel.metrics->counter("train.checkpoint_write_failures")
+                    .add(1);
+              }
+              if (tel.events != nullptr) {
+                util::JsonWriter json;
+                json.begin_object()
+                    .kv("event", "checkpoint_error")
+                    .kv("epoch", epoch)
+                    .kv("policy", ckpt.on_error)
+                    .kv("error", write_error)
+                    .end_object();
+                tel.events->write_line(json.str());
+              }
+            }
+            if (written && epoch == ckpt.test_kill_at_epoch) {
               // Harness hook: die *after* the snapshot is durable (the
               // mid-write variant never reaches this point).
               ::raise(SIGKILL);

@@ -93,10 +93,28 @@ struct TrainConfig {
   struct CheckpointConfig {
     std::string dir;  ///< empty = checkpointing off
     int every = 1;    ///< write a snapshot every N epochs (and at the end)
-    /// Load `dir`'s snapshot before training and continue from its epoch.
-    /// If the directory holds no snapshot the run starts from scratch (the
-    /// crash may have predated the first checkpoint).
+    /// Scan `dir` for the newest valid snapshot before training and
+    /// continue from its epoch. A corrupt newest snapshot falls back to
+    /// the next-older valid one (see kge/checkpoint_dir.hpp); only when
+    /// every candidate is damaged does resume fail. If the directory holds
+    /// no snapshot the run starts from scratch (the crash may have
+    /// predated the first checkpoint).
     bool resume = false;
+
+    /// What a failed snapshot write does to the run (--checkpoint-on-error):
+    ///   "fail"  — rethrow; a full disk kills training (default).
+    ///   "skip"  — log, bump train.checkpoint_write_failures, keep
+    ///             training; the previous snapshot stays the resume point.
+    ///   "retry" — try the write again (fresh temp file) up to the fault
+    ///             budget, then degrade to skip.
+    std::string on_error = "fail";
+
+    /// Total snapshots retained (--checkpoint-keep): the primary
+    /// snapshot.dkgs plus keep-1 epoch-stamped history copies
+    /// (snapshot-e<epoch>.dkgs) of the same sealed bytes. 1 = primary
+    /// only (no history). Retention never deletes the last snapshot that
+    /// verified good.
+    int keep = 1;
 
     /// Test hooks for the kill/restart harness. `test_kill_at_epoch`
     /// raises SIGKILL right after that epoch's snapshot write;
@@ -105,6 +123,13 @@ struct TrainConfig {
     /// guarantee). Negative = disabled.
     int test_kill_at_epoch = -1;
     std::int64_t test_kill_mid_write = -1;
+
+    /// Disk-fault hooks for the degradation harness: starting at epoch
+    /// `test_disk_fault_at_epoch`, the next `test_disk_fault_attempts`
+    /// snapshot writes fail with ENOSPC (exercising `on_error`). -1 =
+    /// disabled.
+    int test_disk_fault_at_epoch = -1;
+    int test_disk_fault_attempts = 1;
   };
   CheckpointConfig checkpoint;
 
@@ -120,6 +145,14 @@ struct TrainConfig {
   /// through its RetryPolicy.
   int fault_retry_limit = 4;
   double fault_backoff_base = 1e-3;
+
+  /// Watchdog budget in simulated seconds per collective
+  /// (--collective-deadline): a collective that hangs, or a straggler
+  /// whose injected delay exceeds the budget, is converted into a
+  /// deterministic RankFailedError the elastic layer can absorb. 0 =
+  /// watchdog off. Validated here so the CLI flag is reported by name;
+  /// enforced by the FaultInjector (comm/fault.hpp).
+  double collective_deadline = 0.0;
 
   /// Elastic training: survive permanent rank crashes by shrinking the
   /// world to the survivors and replaying the poisoned epoch from the last

@@ -1,0 +1,121 @@
+#include "kge/checkpoint_dir.hpp"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace dynkge::kge {
+namespace {
+
+constexpr const char* kPrimaryName = "snapshot.dkgs";
+
+/// Parse "snapshot-e<epoch>.dkgs" -> epoch, or -1 if `name` is not a
+/// history-copy file name (strict: every character between the prefix and
+/// suffix must be a digit, so stray files never join the resume order).
+int history_epoch(const std::string& name) {
+  const std::string prefix = "snapshot-e";
+  const std::string suffix = ".dkgs";
+  if (name.size() <= prefix.size() + suffix.size()) return -1;
+  if (name.compare(0, prefix.size(), prefix) != 0) return -1;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return -1;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  int epoch = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return -1;
+    epoch = epoch * 10 + (c - '0');
+  }
+  return epoch;
+}
+
+/// History files in `dir` as (epoch, filename), unsorted.
+std::vector<std::pair<int, std::string>> history_files(const std::string& dir) {
+  std::vector<std::pair<int, std::string>> files;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return files;
+  while (const dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    const int epoch = history_epoch(name);
+    if (epoch >= 0) files.emplace_back(epoch, name);
+  }
+  ::closedir(handle);
+  return files;
+}
+
+std::string join(const std::string& dir, const std::string& name) {
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+std::vector<std::string> list_snapshot_candidates(const std::string& dir) {
+  std::vector<std::string> candidates;
+  const std::string primary = join(dir, kPrimaryName);
+  if (::access(primary.c_str(), F_OK) == 0) candidates.push_back(primary);
+
+  auto history = history_files(dir);
+  std::sort(history.begin(), history.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [epoch, name] : history) {
+    candidates.push_back(join(dir, name));
+  }
+  return candidates;
+}
+
+ResumeScan load_newest_valid_snapshot(const std::string& dir) {
+  ResumeScan scan;
+  const std::vector<std::string> candidates = list_snapshot_candidates(dir);
+  for (const std::string& candidate : candidates) {
+    try {
+      scan.snapshot = load_snapshot(candidate);
+      scan.found = true;
+      scan.path = candidate;
+      return scan;
+    } catch (const std::exception& error) {
+      scan.rejected.push_back({candidate, error.what()});
+    }
+  }
+  if (!candidates.empty()) {
+    // Every candidate is damaged: fail loudly rather than cold-starting
+    // over state the user asked to resume from.
+    std::string message =
+        "resume: no valid snapshot in " + dir + " — every candidate failed:";
+    for (const RejectedSnapshot& r : scan.rejected) {
+      message += "\n  " + r.path + ": " + r.error;
+    }
+    throw std::runtime_error(message);
+  }
+  return scan;  // found=false: cold start
+}
+
+void prune_snapshots(const std::string& dir, int keep,
+                     const std::string& protect) {
+  if (keep < 1) {
+    throw std::invalid_argument(
+        "prune_snapshots: keep must be >= 1 (--checkpoint-keep)");
+  }
+  auto history = history_files(dir);
+  // Oldest first, so the survivors are the newest copies.
+  std::sort(history.begin(), history.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // The primary counts toward the budget, leaving keep-1 history slots.
+  const int primary_present =
+      ::access(join(dir, kPrimaryName).c_str(), F_OK) == 0 ? 1 : 0;
+  int excess = static_cast<int>(history.size()) - (keep - primary_present);
+  for (const auto& [epoch, name] : history) {
+    if (excess <= 0) break;
+    const std::string path = join(dir, name);
+    if (path == protect) continue;  // last verified-good: never deleted
+    std::remove(path.c_str());
+    --excess;
+  }
+}
+
+}  // namespace dynkge::kge

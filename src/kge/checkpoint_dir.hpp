@@ -1,0 +1,65 @@
+// Checkpoint-directory management: retention and fault-tolerant resume.
+//
+// A checkpoint directory holds one primary snapshot (`snapshot.dkgs`,
+// always the newest state) plus, when `--checkpoint-keep N` asks for
+// history, epoch-stamped copies (`snapshot-e<epoch>.dkgs`) of the same
+// sealed bytes. This module owns the policies around that layout:
+//
+//  * enumeration — candidates in newest-first order (primary first, then
+//    history copies by descending epoch), so resume always prefers the
+//    most recent state;
+//  * fault-tolerant resume — try each candidate in order, verifying the
+//    whole-file FNV-1a checksum (load path) before trusting it, and fall
+//    back to the next-older snapshot when the newest one is torn or
+//    bit-flipped. Only when *every* candidate is corrupt does resume fail,
+//    and then loudly, naming each rejected file and why;
+//  * retention — prune the oldest history copies beyond the keep budget,
+//    never deleting the primary or the last snapshot that verified good.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kge/serialize.hpp"
+
+namespace dynkge::kge {
+
+/// One resume candidate that failed verification, and the loader's error.
+struct RejectedSnapshot {
+  std::string path;
+  std::string error;
+};
+
+/// Result of scanning a checkpoint directory for a resumable snapshot.
+struct ResumeScan {
+  bool found = false;            ///< false = no snapshot files at all
+  TrainingSnapshot snapshot;     ///< valid only when found
+  std::string path;              ///< the file that loaded cleanly
+  std::vector<RejectedSnapshot> rejected;  ///< newer candidates skipped
+};
+
+/// Enumerate resume candidates in `dir`, newest first: `snapshot.dkgs`
+/// (the primary) if present, then `snapshot-e<epoch>.dkgs` history copies
+/// in descending epoch order. Files that merely match the name pattern
+/// are listed without being opened.
+std::vector<std::string> list_snapshot_candidates(const std::string& dir);
+
+/// Load the newest snapshot in `dir` that passes full verification
+/// (magic, version, per-section parse, trailing checksum). Corrupt
+/// candidates are recorded in `rejected` and the scan falls back to the
+/// next-older one. Returns found=false when the directory holds no
+/// snapshot files (cold start). Throws std::runtime_error when every
+/// candidate is corrupt, naming each file and its error — resume must
+/// never silently cold-start over damaged state.
+ResumeScan load_newest_valid_snapshot(const std::string& dir);
+
+/// Delete the oldest history copies (`snapshot-e*.dkgs`) in `dir` beyond
+/// `keep` total retained snapshots (the primary counts toward the
+/// budget). `protect` is never deleted regardless of age — the trainer
+/// passes the last snapshot known to have been written successfully, so
+/// a later failed write can always fall back to it. The primary
+/// `snapshot.dkgs` is never deleted either.
+void prune_snapshots(const std::string& dir, int keep,
+                     const std::string& protect = "");
+
+}  // namespace dynkge::kge

@@ -236,28 +236,49 @@ void throw_errno(const std::string& what, const std::string& path) {
   throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
 }
 
+/// Test-only write(2) interposition (set_write_syscall_hook_for_testing).
+WriteSyscallHook g_write_hook = nullptr;
+
+ssize_t checked_write(const std::string& tmp, int fd, const void* buf,
+                      std::size_t count) {
+  if (g_write_hook != nullptr) return g_write_hook(tmp, fd, buf, count);
+  return ::write(fd, buf, count);
+}
+
 /// Write `bytes` to `path` so that a kill at any byte boundary leaves
 /// either the previous file or the complete new one: stage to a temp file
 /// in the same directory, fsync, rename over the target, fsync the
 /// directory. `test_kill_after_bytes` (see SnapshotWriteOptions) stops
 /// after a prefix and raises SIGKILL — the crash-consistency tests use it
-/// to prove the rename never exposes a torn file.
+/// to prove the rename never exposes a torn file. `test_write_errno`
+/// simulates a failing disk (ENOSPC, EIO) on the first write. Any write
+/// failure unlinks the torn temp file before throwing, so the previous
+/// snapshot is never shadowed.
 void write_file_atomic(const std::string& path, const std::string& bytes,
-                       std::int64_t test_kill_after_bytes = -1) {
+                       std::int64_t test_kill_after_bytes = -1,
+                       int test_write_errno = 0) {
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) throw_errno("cannot create", tmp);
 
+  if (test_write_errno != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    errno = test_write_errno;
+    throw_errno("write failed for", tmp);
+  }
   std::size_t limit = bytes.size();
   if (test_kill_after_bytes >= 0) {
     limit = std::min(limit, static_cast<std::size_t>(test_kill_after_bytes));
   }
   std::size_t written = 0;
   while (written < limit) {
-    const ssize_t n = ::write(fd, bytes.data() + written, limit - written);
+    const ssize_t n =
+        checked_write(tmp, fd, bytes.data() + written, limit - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       ::close(fd);
+      ::unlink(tmp.c_str());
       throw_errno("write failed for", tmp);
     }
     written += static_cast<std::size_t>(n);
@@ -496,7 +517,12 @@ std::string serialize_snapshot(const TrainingSnapshot& snapshot) {
 
 void write_snapshot_bytes(const std::string& sealed, const std::string& path,
                           const SnapshotWriteOptions& options) {
-  write_file_atomic(path, sealed, options.test_kill_after_bytes);
+  write_file_atomic(path, sealed, options.test_kill_after_bytes,
+                    options.test_write_errno);
+}
+
+void set_write_syscall_hook_for_testing(WriteSyscallHook hook) {
+  g_write_hook = hook;
 }
 
 void save_snapshot(const TrainingSnapshot& snapshot, const std::string& path,

@@ -39,6 +39,8 @@
 // file or the new one — never a torn mix.
 #pragma once
 
+#include <sys/types.h>
+
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
@@ -129,7 +131,24 @@ struct SnapshotWriteOptions {
   /// never happens, so the previous snapshot must survive intact).
   /// Negative = disabled.
   std::int64_t test_kill_after_bytes = -1;
+  /// Disk-fault hook for the degradation harness: fail the first write(2)
+  /// of the temp file with this errno (ENOSPC, EIO, ...). 0 = disabled.
+  /// The torn temp file is unlinked before the error is thrown, so the
+  /// previous snapshot is never shadowed by a half-written one.
+  int test_write_errno = 0;
 };
+
+/// Global write-syscall interposition hook for disk-fault unit tests: when
+/// set, every write(2) issued by the atomic snapshot/model writer goes
+/// through it instead. Semantics match write(2): return the byte count
+/// written (short counts are honored and retried, like a nearly-full
+/// disk), or -1 with errno set to fail the write. `path` is the temp file
+/// being written, so a hook can target specific files. Pass nullptr to
+/// restore the real syscall. Not thread safe — set it only from
+/// single-threaded test setup; rank 0 is the sole snapshot writer.
+using WriteSyscallHook = ssize_t (*)(const std::string& path, int fd,
+                                     const void* buf, std::size_t count);
+void set_write_syscall_hook_for_testing(WriteSyscallHook hook);
 
 /// Write a full training snapshot to `path`, atomically (temp + fsync +
 /// rename). Throws std::runtime_error on I/O failure.

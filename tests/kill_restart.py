@@ -17,7 +17,11 @@ gradient-exchange strategy:
      RankFailedError status (3) instead of hanging,
   7. an elastic run SIGKILLed *during* the recovery rebuild itself — a
      plain --resume restart must recover again and still end
-     byte-identical to an uninterrupted elastic run.
+     byte-identical to an uninterrupted elastic run,
+  8. a run whose disk fills during the final epoch's snapshot write —
+     --checkpoint-on-error skip must finish training byte-identical to
+     the reference, and a --resume restart must pick the prior good
+     snapshot and still match.
 
 Usage: kill_restart.py <dynkge-binary> <data-dir> <work-dir> <strategy>
 """
@@ -148,6 +152,30 @@ def main():
         sys.exit("FAIL: restarted elastic run reported no recovery")
     expect_same_bytes(elastic_ref, elastic_resumed,
                       f"{strategy} kill-in-recovery restart")
+
+    # 8. Disk full during the final epoch's snapshot write: under
+    # --checkpoint-on-error skip the run must finish (byte-identical to
+    # the reference) with the failure logged, leaving epoch 3's snapshot
+    # as the resume point.
+    ckpt4 = work / "ckpt_diskfault"
+    degraded = work / "degraded.dkge"
+    out = run(base + ["--checkpoint-dir", ckpt4,
+                      "--checkpoint-on-error", "skip",
+                      "--disk-fault-at-epoch", "3",
+                      "--save-model", degraded])
+    if "checkpoint write failed" not in out:
+        sys.exit("FAIL: disk-fault run did not log the failed write")
+    expect_same_bytes(reference, degraded, f"{strategy} disk-fault skip")
+
+    # A --resume restart picks the prior good snapshot (end of epoch 2),
+    # replays epoch 3, and must still match the reference byte for byte.
+    disk_resumed = work / "disk_resumed.dkge"
+    out = run(base + ["--checkpoint-dir", ckpt4, "--resume",
+                      "--save-model", disk_resumed])
+    if "resumed from epoch 3" not in out:
+        sys.exit("FAIL: disk-fault resume did not continue from epoch 3")
+    expect_same_bytes(reference, disk_resumed,
+                      f"{strategy} disk-fault resume")
 
     print(f"PASS: kill/restart contract holds for strategy {strategy}")
 

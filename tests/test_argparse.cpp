@@ -152,6 +152,33 @@ TEST(FlagValidation, TopKRejectedByFlagName) {
       "--drs-topk-arm");
 }
 
+TEST(FlagValidation, RobustnessKnobsRejectedByFlagName) {
+  core::TrainConfig config;
+  config.collective_deadline = -0.5;
+  expect_message_names_flag(
+      [&] { core::DistributedTrainer trainer(flag_dataset(), config); },
+      "--collective-deadline");
+
+  config = core::TrainConfig{};
+  config.checkpoint.keep = 0;
+  expect_message_names_flag(
+      [&] { core::DistributedTrainer trainer(flag_dataset(), config); },
+      "--checkpoint-keep");
+
+  config = core::TrainConfig{};
+  config.checkpoint.on_error = "ignore";
+  expect_message_names_flag(
+      [&] { core::DistributedTrainer trainer(flag_dataset(), config); },
+      "--checkpoint-on-error");
+
+  // The three valid policies construct cleanly.
+  for (const char* policy : {"fail", "skip", "retry"}) {
+    config = core::TrainConfig{};
+    config.checkpoint.on_error = policy;
+    core::DistributedTrainer trainer(flag_dataset(), config);
+  }
+}
+
 TEST(FlagValidation, FederatedPolicyRejectedByFlagName) {
   comm::FederatedPolicy policy;
 

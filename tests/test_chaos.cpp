@@ -1,0 +1,275 @@
+// Chaos soak: composed fault storms over multi-epoch elastic training.
+// The end-to-end robustness contracts under test:
+//
+//  * zero silent corruption — every bit-flipped publish is caught by the
+//    wire checksums (corrupted_payloads == corruptions_detected, always);
+//  * recoverable faults preserve determinism — a run through corruption,
+//    transients, and stragglers ends byte-identical to a fault-free run
+//    wherever the contract promises it (recovered faults charge nothing);
+//  * armed checksums are free — an empty-schedule injector (the CLI's
+//    --wire-checksums) changes nothing about the results;
+//  * hangs degrade, not deadlock — the deadline watchdog turns a hung
+//    collective into a rank failure that elastic shrink-world absorbs;
+//  * a failing disk degrades, not kills — --checkpoint-on-error skip
+//    finishes training and --resume picks the prior good snapshot.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "core/trainer.hpp"
+#include "kge/synthetic.hpp"
+
+namespace dynkge::core {
+namespace {
+
+const kge::Dataset& chaos_dataset() {
+  static const kge::Dataset dataset = kge::generate_synthetic([] {
+    kge::SyntheticSpec spec;
+    spec.num_entities = 300;
+    spec.num_relations = 24;
+    spec.num_triples = 4000;
+    spec.num_latent_types = 6;
+    spec.seed = 99;
+    return spec;
+  }());
+  return dataset;
+}
+
+TrainConfig fast_config(int num_nodes) {
+  TrainConfig config;
+  config.embedding_rank = 8;
+  config.num_nodes = num_nodes;
+  config.batch_size = 200;
+  config.max_epochs = 4;
+  config.lr.base_lr = 0.01;
+  config.lr.tolerance = 6;
+  config.compute_final_metrics = false;
+  config.seed = 4242;
+  return config;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "dynkge_chaos_" +
+                          std::to_string(::getpid()) + "_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+bool same_floats(std::span<const float> a, std::span<const float> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+void expect_same_model(const TrainReport& a, const TrainReport& b,
+                       const char* label) {
+  ASSERT_NE(a.model, nullptr) << label;
+  ASSERT_NE(b.model, nullptr) << label;
+  EXPECT_TRUE(same_floats(a.model->entities().flat(),
+                          b.model->entities().flat()))
+      << label << ": entity embeddings differ";
+  EXPECT_TRUE(same_floats(a.model->relations().flat(),
+                          b.model->relations().flat()))
+      << label << ": relation embeddings differ";
+}
+
+/// The deterministic half of the timing contract. total_sim_seconds mixes
+/// *measured* per-thread CPU time into the simulated clock, so it is never
+/// equal across two runs; what the integrity layer promises is that the
+/// *modeled* communication seconds — the input to every DRS decision — and
+/// the transport decisions themselves are untouched.
+void expect_same_modeled_timeline(const TrainReport& a, const TrainReport& b,
+                                  const char* label) {
+  ASSERT_EQ(a.epoch_log.size(), b.epoch_log.size()) << label;
+  for (std::size_t i = 0; i < a.epoch_log.size(); ++i) {
+    EXPECT_EQ(a.epoch_log[i].comm_seconds, b.epoch_log[i].comm_seconds)
+        << label << ": modeled comm time diverged at epoch " << i;
+    EXPECT_EQ(a.epoch_log[i].used_allgather, b.epoch_log[i].used_allgather)
+        << label << ": DRS transport decision flipped at epoch " << i;
+  }
+}
+
+comm::FaultEvent event(comm::FaultKind kind, int rank, int epoch,
+                       int failures = 1, double delay = 0.1) {
+  comm::FaultEvent e;
+  e.kind = kind;
+  e.rank = rank;
+  e.epoch = epoch;
+  e.failures = failures;
+  e.delay_seconds = delay;
+  return e;
+}
+
+/// Machine-checked invariant of the whole suite: nothing slips past the
+/// checksums, and the books balance.
+void expect_zero_silent_corruption(const comm::FaultInjector& injector) {
+  const comm::FaultCounters c = injector.counters();
+  EXPECT_EQ(c.corrupted_payloads, c.corruptions_detected)
+      << "silent corruption: " << c.corrupted_payloads
+      << " payloads corrupted but only " << c.corruptions_detected
+      << " detected";
+}
+
+TEST(ChaosSoak, ArmedChecksumsAloneChangeNothing) {
+  TrainConfig config = fast_config(4);
+  config.strategy = StrategyConfig::drs(2);
+  const TrainReport plain = DistributedTrainer(chaos_dataset(), config).train();
+
+  comm::FaultInjector checksums(std::vector<comm::FaultEvent>{});
+  config.fault_injector = &checksums;
+  const TrainReport armed = DistributedTrainer(chaos_dataset(), config).train();
+
+  expect_same_model(plain, armed, "wire-checksums");
+  expect_same_modeled_timeline(plain, armed, "wire-checksums");
+  expect_zero_silent_corruption(checksums);
+}
+
+TEST(ChaosSoak, RecoverableFaultStormIsByteIdenticalToCleanRun) {
+  TrainConfig config = fast_config(4);
+  config.strategy = StrategyConfig::drs(2);
+  const TrainReport clean = DistributedTrainer(chaos_dataset(), config).train();
+
+  // Corruption + transients + sub-deadline stragglers across epochs and
+  // ranks: all recoverable, so the contract promises byte-identity (the
+  // straggler moves the simulated clock identically to a clean run with
+  // the same schedule — but DRS decisions are epoch-scoped, and a 1e-6 s
+  // stall is far below any decision threshold on this workload).
+  comm::FaultInjector storm(
+      {event(comm::FaultKind::kCorrupt, 0, /*epoch=*/1, /*failures=*/2),
+       event(comm::FaultKind::kCorrupt, 3, /*epoch=*/2, /*failures=*/1),
+       event(comm::FaultKind::kTransient, 1, /*epoch=*/1, /*failures=*/2),
+       event(comm::FaultKind::kTransient, 2, /*epoch=*/3, /*failures=*/1)},
+      comm::RetryPolicy{},
+      /*collective_deadline=*/10.0);
+  config.fault_injector = &storm;
+  const TrainReport stormy =
+      DistributedTrainer(chaos_dataset(), config).train();
+
+  expect_same_model(clean, stormy, "fault storm");
+  expect_same_modeled_timeline(clean, stormy, "fault storm");
+  const comm::FaultCounters c = storm.counters();
+  EXPECT_EQ(c.corrupted_payloads, 3u);
+  EXPECT_EQ(c.transients, 2u);
+  EXPECT_EQ(c.watchdog_trips, 0u);
+  expect_zero_silent_corruption(storm);
+}
+
+TEST(ChaosSoak, HangUnderDeadlineIsAbsorbedByElasticRecovery) {
+  TrainConfig config = fast_config(4);
+  config.strategy = StrategyConfig::drs(2);
+  config.elastic.enabled = true;
+  config.elastic.max_rank_failures = 2;
+
+  // A hang in epoch 1 and a straggler stalled past the deadline in epoch
+  // 2: both become deterministic rank failures; the world shrinks twice.
+  comm::FaultInjector chaos(
+      {event(comm::FaultKind::kHang, 2, /*epoch=*/1),
+       event(comm::FaultKind::kStraggler, 0, /*epoch=*/2, /*failures=*/1,
+             /*delay=*/50.0)},
+      comm::RetryPolicy{},
+      /*collective_deadline=*/5.0);
+  config.fault_injector = &chaos;
+  const TrainReport report =
+      DistributedTrainer(chaos_dataset(), config).train();
+
+  EXPECT_EQ(report.recoveries, 2);
+  EXPECT_EQ(report.num_nodes, 2);
+  EXPECT_EQ(chaos.counters().watchdog_trips, 2u);
+  expect_zero_silent_corruption(chaos);
+  ASSERT_NE(report.model, nullptr);
+}
+
+TEST(ChaosSoak, ComposedStormWithElasticCheckpointsAndDiskFaults) {
+  // The full soak: corruption, a transient, a hang (fatal -> shrink), and
+  // a disk fault under --checkpoint-on-error skip, in one 4-rank run.
+  TrainConfig config = fast_config(4);
+  config.strategy = StrategyConfig::drs(2);
+  config.elastic.enabled = true;
+  config.elastic.max_rank_failures = 1;
+  config.checkpoint.dir = fresh_dir("soak");
+  config.checkpoint.on_error = "skip";
+  config.checkpoint.keep = 3;
+  config.checkpoint.test_disk_fault_at_epoch = 2;
+  config.checkpoint.test_disk_fault_attempts = 1;
+
+  comm::FaultInjector storm(
+      {event(comm::FaultKind::kCorrupt, 1, /*epoch=*/0, /*failures=*/1),
+       event(comm::FaultKind::kTransient, 2, /*epoch=*/1, /*failures=*/1),
+       event(comm::FaultKind::kHang, 3, /*epoch=*/2)},
+      comm::RetryPolicy{},
+      /*collective_deadline=*/5.0);
+  config.fault_injector = &storm;
+  const TrainReport report =
+      DistributedTrainer(chaos_dataset(), config).train();
+
+  EXPECT_EQ(report.recoveries, 1);
+  EXPECT_EQ(report.num_nodes, 3);
+  expect_zero_silent_corruption(storm);
+  const comm::FaultCounters c = storm.counters();
+  EXPECT_GE(c.corrupted_payloads, 1u);
+  EXPECT_EQ(c.watchdog_trips, 1u);
+
+  // The run survived the disk fault and left a resumable directory.
+  ASSERT_NE(report.model, nullptr);
+  TrainConfig resumed_config = fast_config(3);
+  resumed_config.strategy = StrategyConfig::drs(2);
+  resumed_config.checkpoint.dir = config.checkpoint.dir;
+  resumed_config.checkpoint.resume = true;
+  const TrainReport resumed =
+      DistributedTrainer(chaos_dataset(), resumed_config).train();
+  EXPECT_EQ(resumed.start_epoch, 4);  // complete: nothing left to replay
+  expect_same_model(report, resumed, "resume after soak");
+  std::filesystem::remove_all(config.checkpoint.dir);
+}
+
+TEST(ChaosSoak, DiskFaultUnderSkipFinishesAndResumesFromPriorGood) {
+  TrainConfig config = fast_config(2);
+  config.strategy = StrategyConfig::drs(2);
+  const TrainReport reference =
+      DistributedTrainer(chaos_dataset(), config).train();
+
+  // Fail the final epoch's snapshot write; skip keeps training alive and
+  // the epoch-2 snapshot stays the resume point.
+  config.checkpoint.dir = fresh_dir("disk");
+  config.checkpoint.on_error = "skip";
+  config.checkpoint.test_disk_fault_at_epoch = 3;
+  const TrainReport degraded =
+      DistributedTrainer(chaos_dataset(), config).train();
+  expect_same_model(reference, degraded, "skip policy");
+  EXPECT_EQ(degraded.checkpoints_written, 3);  // epoch 3's write failed
+
+  // Resume replays epoch 3 from the prior good snapshot and converges to
+  // the same final embeddings.
+  TrainConfig resumed_config = config;
+  resumed_config.fault_injector = nullptr;
+  resumed_config.checkpoint.resume = true;
+  resumed_config.checkpoint.test_disk_fault_at_epoch = -1;
+  const TrainReport resumed =
+      DistributedTrainer(chaos_dataset(), resumed_config).train();
+  EXPECT_EQ(resumed.start_epoch, 3);
+  expect_same_model(reference, resumed, "resume after disk fault");
+  std::filesystem::remove_all(config.checkpoint.dir);
+}
+
+TEST(ChaosSoak, RetryPolicyOutlastsTransientDiskFault) {
+  TrainConfig config = fast_config(2);
+  config.strategy = StrategyConfig::drs(2);
+  config.checkpoint.dir = fresh_dir("retry");
+  config.checkpoint.on_error = "retry";
+  config.checkpoint.test_disk_fault_at_epoch = 1;
+  config.checkpoint.test_disk_fault_attempts = 2;  // < fault_retry_limit
+
+  const TrainReport report =
+      DistributedTrainer(chaos_dataset(), config).train();
+  // Every epoch's snapshot landed despite two failed attempts.
+  EXPECT_EQ(report.checkpoints_written, 4);
+  std::filesystem::remove_all(config.checkpoint.dir);
+}
+
+}  // namespace
+}  // namespace dynkge::core

@@ -167,6 +167,194 @@ TEST(FaultInjector, RandomScheduleIsDeterministicInSeed) {
   EXPECT_GT(a.counters().transients + a.counters().stragglers, 0u);
 }
 
+// ---- wire integrity & deadline watchdog ------------------------------
+
+/// A rank program exercising the payload (byte-checksummed) path: float
+/// allreduces whose result feeds the next step.
+std::vector<float> payload_loop(Communicator& comm, int steps) {
+  std::vector<float> data(8, static_cast<float>(comm.rank() + 1));
+  for (int step = 0; step < steps; ++step) {
+    comm.allreduce_sum_inplace(data);
+    for (float& v : data) v /= static_cast<float>(comm.size() + 1);
+  }
+  return data;
+}
+
+TEST_P(FaultMatrixTest, CorruptPayloadIsRetransmittedAndResultsUnchanged) {
+  const int num_ranks = GetParam();
+
+  std::vector<std::vector<float>> clean(num_ranks);
+  Cluster reference(num_ranks);
+  reference.run([&](Communicator& comm) {
+    clean[comm.rank()] = payload_loop(comm, 20);
+  });
+
+  FaultInjector injector({FaultEvent{FaultKind::kCorrupt, /*rank=*/0,
+                                     /*collective_index=*/6,
+                                     /*failures=*/2}});
+  std::vector<std::vector<float>> faulted(num_ranks);
+  Cluster cluster(num_ranks);
+  cluster.set_fault_injector(&injector);
+  cluster.run([&](Communicator& comm) {
+    faulted[comm.rank()] = payload_loop(comm, 20);
+  });
+
+  EXPECT_EQ(clean, faulted);  // bit-identical despite the corruption
+  const FaultCounters counters = injector.counters();
+  EXPECT_EQ(counters.corrupted_payloads, 2u);
+  // Zero silent corruption: every corrupted publish was caught.
+  EXPECT_EQ(counters.corruptions_detected, counters.corrupted_payloads);
+  EXPECT_EQ(counters.retransmits, 2u);
+  EXPECT_EQ(counters.exhausted, 0u);
+}
+
+TEST_P(FaultMatrixTest, CorruptScalarCollectiveIsCoveredByChecksums) {
+  // Zero-byte collectives (allreduce_scalar) are covered too: the digest
+  // extends over the publishing rank's scalar slot.
+  const int num_ranks = GetParam();
+
+  std::vector<double> clean(num_ranks, 0.0);
+  Cluster reference(num_ranks);
+  reference.run([&](Communicator& comm) {
+    clean[comm.rank()] = collective_loop(comm, 40);
+  });
+
+  FaultInjector injector({FaultEvent{FaultKind::kCorrupt, /*rank=*/1,
+                                     /*collective_index=*/12,
+                                     /*failures=*/1}});
+  std::vector<double> faulted(num_ranks, 0.0);
+  Cluster cluster(num_ranks);
+  cluster.set_fault_injector(&injector);
+  cluster.run([&](Communicator& comm) {
+    faulted[comm.rank()] = collective_loop(comm, 40);
+  });
+
+  EXPECT_EQ(clean, faulted);
+  const FaultCounters counters = injector.counters();
+  EXPECT_EQ(counters.corrupted_payloads, 1u);
+  EXPECT_EQ(counters.corruptions_detected, 1u);
+}
+
+TEST_P(FaultMatrixTest, CorruptEscalatesToRankFailedWhenBudgetExhausted) {
+  const int num_ranks = GetParam();
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  FaultInjector injector({FaultEvent{FaultKind::kCorrupt, /*rank=*/1,
+                                     /*collective_index=*/4,
+                                     /*failures=*/5}},
+                         policy);
+  Cluster cluster(num_ranks);
+  cluster.set_fault_injector(&injector);
+  try {
+    cluster.run([&](Communicator& comm) { payload_loop(comm, 20); });
+    FAIL() << "persistent corruption did not escalate";
+  } catch (const RankFailedError& error) {
+    EXPECT_EQ(error.rank(), 1);
+    EXPECT_NE(std::string(error.what()).find("corrupted payload"),
+              std::string::npos);
+  }
+  const FaultCounters counters = injector.counters();
+  EXPECT_EQ(counters.corrupted_payloads, 3u);  // one per attempt
+  EXPECT_EQ(counters.corruptions_detected, counters.corrupted_payloads);
+  EXPECT_EQ(counters.exhausted, 1u);
+}
+
+TEST_P(FaultMatrixTest, HangTripsWatchdogIntoRankFailed) {
+  const int num_ranks = GetParam();
+  FaultInjector injector({FaultEvent{FaultKind::kHang, /*rank=*/0,
+                                     /*collective_index=*/9}},
+                         RetryPolicy{},
+                         /*collective_deadline=*/2.0);
+  Cluster cluster(num_ranks);
+  cluster.set_fault_injector(&injector);
+  try {
+    cluster.run([&](Communicator& comm) { collective_loop(comm, 40); });
+    FAIL() << "hang did not trip the watchdog";
+  } catch (const RankFailedError& error) {
+    EXPECT_EQ(error.rank(), 0);
+    EXPECT_NE(std::string(error.what()).find("watchdog"),
+              std::string::npos);
+  }
+  EXPECT_EQ(injector.counters().watchdog_trips, 1u);
+}
+
+TEST(FaultInjector, StragglerPastDeadlineTripsWatchdog) {
+  FaultInjector injector({FaultEvent{FaultKind::kStraggler, /*rank=*/1,
+                                     /*collective_index=*/5, /*failures=*/1,
+                                     /*delay_seconds=*/3.0}},
+                         RetryPolicy{},
+                         /*collective_deadline=*/1.0);
+  Cluster cluster(2);
+  cluster.set_fault_injector(&injector);
+  EXPECT_THROW(
+      cluster.run([&](Communicator& comm) { collective_loop(comm, 40); }),
+      RankFailedError);
+  EXPECT_EQ(injector.counters().watchdog_trips, 1u);
+  EXPECT_EQ(injector.counters().stragglers, 0u);  // escalated, not applied
+}
+
+TEST(FaultInjector, StragglerWithinDeadlineIsNotEscalated) {
+  FaultInjector injector({FaultEvent{FaultKind::kStraggler, /*rank=*/1,
+                                     /*collective_index=*/5, /*failures=*/1,
+                                     /*delay_seconds=*/0.5}},
+                         RetryPolicy{},
+                         /*collective_deadline=*/1.0);
+  Cluster cluster(2);
+  cluster.set_fault_injector(&injector);
+  cluster.run([&](Communicator& comm) { collective_loop(comm, 40); });
+  EXPECT_EQ(injector.counters().stragglers, 1u);
+  EXPECT_EQ(injector.counters().watchdog_trips, 0u);
+}
+
+TEST(FaultInjector, HangScheduleRequiresDeadlineNamedByFlag) {
+  // A hang with no watchdog would be undetectable; the injector rejects
+  // the schedule at construction, naming the CLI flag.
+  try {
+    FaultInjector injector(
+        {FaultEvent{FaultKind::kHang, /*rank=*/0, /*collective_index=*/1}});
+    FAIL() << "hang without a deadline was accepted";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("--collective-deadline"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultInjector, NegativeDeadlineIsRejectedNamedByFlag) {
+  try {
+    FaultInjector injector(std::vector<FaultEvent>{}, RetryPolicy{},
+                           /*collective_deadline=*/-1.0);
+    FAIL() << "negative deadline was accepted";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("--collective-deadline"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultInjector, ParseSpecCorruptAndHangRoundTrip) {
+  const auto events =
+      FaultInjector::parse_spec("corrupt@1@40@3,hang@0@e2,corrupt@2@e1");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FaultKind::kCorrupt);
+  EXPECT_EQ(events[0].rank, 1);
+  EXPECT_EQ(events[0].collective_index, 40u);
+  EXPECT_EQ(events[0].failures, 3);
+  EXPECT_EQ(events[1].kind, FaultKind::kHang);
+  EXPECT_EQ(events[1].epoch, 2);
+  EXPECT_EQ(events[2].kind, FaultKind::kCorrupt);
+  EXPECT_EQ(events[2].epoch, 1);
+  EXPECT_EQ(events[2].failures, 1);  // default
+}
+
+TEST(FaultInjector, ParseSpecRejectsMalformedCorruptAndHang) {
+  // hang takes no trailing parameter.
+  EXPECT_THROW(FaultInjector::parse_spec("hang@0@1@2"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse_spec("corrupt@0"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector::parse_spec("corrupt@0@1@x"),
+               std::invalid_argument);
+}
+
 TEST(FaultInjector, NoFaultsMeansNoOverhead) {
   FaultInjector injector(std::vector<FaultEvent>{});
   Cluster cluster(2);

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Chaos soak for the dynkge integrity & degradation layer.
+
+Drives the real CLI binary through a composed-fault matrix and checks the
+end-to-end robustness contracts:
+
+  1. armed checksums are free — a --wire-checksums run is byte-identical
+     to a plain run (the integrity layer charges zero simulated seconds),
+  2. recoverable chaos preserves determinism — corruption + transients +
+     sub-deadline stragglers end byte-identical to the fault-free run,
+  3. zero silent corruption — the CLI's integrity summary must balance:
+     every corrupted payload was detected,
+  4. hangs degrade, not deadlock — a hung collective under
+     --collective-deadline becomes a rank failure that --elastic absorbs
+     (exit 0, world shrinks),
+  5. persistent corruption escalates — past the retry budget the run
+     exits with the rank-failed status (3), never silently continues,
+  6. a failing disk degrades, not kills — --checkpoint-on-error skip
+     finishes training and --resume picks the prior good snapshot,
+  7. the full storm at 4 ranks — corrupt + transient + hang + disk fault
+     in one elastic run, finishing clean with balanced integrity books.
+
+Usage: chaos_soak.py <dynkge-binary> <data-dir> <work-dir>
+"""
+
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+TIMEOUT_SECONDS = 600  # a hang that actually blocks becomes a failure
+RANK_FAILED_EXIT = 3
+
+
+def run(cmd, expect=0):
+    """Run a CLI invocation; returncode must be in `expect` (int or tuple)."""
+    print("+", " ".join(str(c) for c in cmd), flush=True)
+    proc = subprocess.run(
+        [str(c) for c in cmd],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        timeout=TIMEOUT_SECONDS,
+    )
+    text = proc.stdout.decode(errors="replace")
+    print(text, flush=True)
+    codes = expect if isinstance(expect, tuple) else (expect,)
+    if proc.returncode not in codes:
+        sys.exit(
+            f"FAIL: expected exit in {codes}, got {proc.returncode}: {cmd}"
+        )
+    return text
+
+
+def expect_same_bytes(a, b, what):
+    if pathlib.Path(a).read_bytes() != pathlib.Path(b).read_bytes():
+        sys.exit(f"FAIL: {what}: {a} and {b} differ")
+    print(f"ok: {what}: byte-identical", flush=True)
+
+
+def integrity_counters(text, what):
+    """Parse the CLI's integrity summary and enforce corrupted == detected."""
+    match = re.search(
+        r"integrity: (\d+) corrupted payloads, (\d+) detected, "
+        r"(\d+) retransmits, (\d+) watchdog trips",
+        text,
+    )
+    if match is None:
+        sys.exit(f"FAIL: {what}: no integrity summary in CLI output")
+    corrupted, detected, retransmits, trips = map(int, match.groups())
+    if corrupted != detected:
+        sys.exit(
+            f"FAIL: {what}: SILENT CORRUPTION — {corrupted} payloads "
+            f"corrupted but only {detected} detected"
+        )
+    print(
+        f"ok: {what}: integrity books balance "
+        f"({corrupted} corrupted == {detected} detected)",
+        flush=True,
+    )
+    return corrupted, detected, retransmits, trips
+
+
+def main():
+    if len(sys.argv) != 4:
+        sys.exit(__doc__)
+    binary, data, work = sys.argv[1:]
+    work = pathlib.Path(work)
+    shutil.rmtree(work, ignore_errors=True)
+    work.mkdir(parents=True)
+
+    base = [
+        binary, "train", "--data", data, "--strategy", "drs1bit",
+        "--nodes", "4", "--rank", "8", "--batch", "500",
+        "--max-epochs", "4", "--tolerance", "3", "--seed", "7",
+    ]
+
+    # 1. Fault-free reference, then the same run with checksums armed.
+    reference = work / "reference.dkge"
+    run(base + ["--save-model", reference])
+    wired = work / "wired.dkge"
+    out = run(base + ["--wire-checksums", "--save-model", wired])
+    integrity_counters(out, "wire-checksums")
+    expect_same_bytes(reference, wired, "checksums armed vs plain")
+
+    # 2+3. Recoverable chaos: corruption on two ranks, a transient, and a
+    # straggler well under the deadline. Byte-identity must survive it all
+    # (recovered faults charge nothing to the simulated clock).
+    chaotic = work / "chaotic.dkge"
+    out = run(base + [
+        "--fault-spec",
+        "corrupt@1@e0@2,corrupt@2@e2,transient@0@e1@2,straggler@3@e1@1e-6",
+        "--collective-deadline", "100",
+        "--save-model", chaotic,
+    ])
+    corrupted, _, retransmits, trips = integrity_counters(
+        out, "recoverable chaos")
+    if corrupted != 3 or retransmits != 3:
+        sys.exit(f"FAIL: expected 3 corruptions/3 retransmits, got "
+                 f"{corrupted}/{retransmits}")
+    if trips != 0:
+        sys.exit("FAIL: sub-deadline straggler tripped the watchdog")
+    expect_same_bytes(reference, chaotic, "recoverable chaos vs plain")
+
+    # 4. A hang under the deadline watchdog + elastic: the rank dies
+    # deterministically, the world shrinks, the run exits 0.
+    out = run(base + [
+        "--fault-spec", "hang@2@e1", "--collective-deadline", "5",
+        "--elastic", "--max-rank-failures", "1",
+    ])
+    if "1 recoveries" not in out:
+        sys.exit("FAIL: hang was not absorbed by elastic recovery")
+    _, _, _, trips = integrity_counters(out, "hang watchdog")
+    if trips != 1:
+        sys.exit(f"FAIL: expected 1 watchdog trip, got {trips}")
+
+    # 5. Corruption persisting past the retry budget escalates to the
+    # rank-failed exit status; the books must still balance.
+    out = run(base + [
+        "--fault-spec", "corrupt@1@e1@9", "--fault-retry-limit", "3",
+    ], expect=RANK_FAILED_EXIT)
+    if "corrupted payload" not in out:
+        sys.exit("FAIL: escalation did not name the corrupted payload")
+    integrity_counters(out, "escalation")
+
+    # 6. Disk full at the last epoch under skip: training finishes
+    # byte-identical; --resume then picks the prior good snapshot.
+    ckpt = work / "ckpt_disk"
+    degraded = work / "degraded.dkge"
+    out = run(base + [
+        "--checkpoint-dir", ckpt, "--checkpoint-keep", "3",
+        "--checkpoint-on-error", "skip", "--disk-fault-at-epoch", "3",
+        "--save-model", degraded,
+    ])
+    if "checkpoint write failed" not in out:
+        sys.exit("FAIL: disk-fault run did not log the failed write")
+    expect_same_bytes(reference, degraded, "disk fault under skip")
+    resumed = work / "resumed.dkge"
+    out = run(base + ["--checkpoint-dir", ckpt, "--resume",
+                      "--save-model", resumed])
+    if "resumed from epoch 3" not in out:
+        sys.exit("FAIL: resume did not pick the prior good snapshot")
+    expect_same_bytes(reference, resumed, "resume after disk fault")
+
+    # 7. The full storm: corrupt + transient + hang + disk fault in one
+    # 4-rank elastic run with history retention.
+    ckpt2 = work / "ckpt_storm"
+    out = run(base + [
+        "--fault-spec", "corrupt@0@e0@2,transient@1@e1,hang@3@e2",
+        "--collective-deadline", "5",
+        "--elastic", "--max-rank-failures", "1",
+        "--checkpoint-dir", ckpt2, "--checkpoint-keep", "2",
+        "--checkpoint-on-error", "skip", "--disk-fault-at-epoch", "1",
+        "--events-out", work / "storm_events.jsonl",
+    ])
+    if "1 recoveries" not in out:
+        sys.exit("FAIL: storm run did not recover from the hang")
+    integrity_counters(out, "full storm")
+
+    print("PASS: chaos soak contract holds")
+
+
+if __name__ == "__main__":
+    main()

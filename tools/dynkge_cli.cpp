@@ -24,14 +24,31 @@
 //                                       moments, scheduler, DRS, RNG
 //                                       streams, residuals)
 //                   [--checkpoint-every N]  snapshot period in epochs (1)
-//                   [--resume]          continue from d's snapshot; the
+//                   [--checkpoint-keep N]  snapshots retained: the primary
+//                                       plus N-1 epoch-stamped history
+//                                       copies (default 1); never deletes
+//                                       the last known-good snapshot
+//                   [--checkpoint-on-error fail|skip|retry]  what a failed
+//                                       snapshot write does: kill the run
+//                                       (default), log and keep training,
+//                                       or re-attempt then degrade to skip
+//                   [--resume]          continue from d's newest valid
+//                                       snapshot (a corrupt newest falls
+//                                       back to the next older one); the
 //                                       final embeddings are byte-identical
 //                                       to an uninterrupted run
 //                   [--fault-spec s]    inject collective faults, e.g.
 //                                       "crash@1@40,transient@0@12@2,
-//                                       straggler@2@30@0.5"; INDEX may be
-//                                       an epoch address like e2 (see
-//                                       comm/fault.hpp)
+//                                       straggler@2@30@0.5,corrupt@1@e2,
+//                                       hang@0@e3"; INDEX may be an epoch
+//                                       address like e2 (see comm/fault.hpp)
+//                   [--wire-checksums]  FNV-1a payload checksums on every
+//                                       collective even with no fault spec
+//                   [--collective-deadline X]  watchdog: a hung collective
+//                                       or a straggler stalled past X sim
+//                                       seconds becomes a deterministic
+//                                       rank failure (0 = off; required
+//                                       for hang@ faults)
 //                   [--fault-retry-limit N]  transient-retry attempts per
 //                                       collective (default 4)
 //                   [--fault-backoff-base X]  modeled seconds before the
@@ -52,6 +69,10 @@
 //                                       instead (atomicity harness)
 //                   [--kill-in-recovery N]  test hook: SIGKILL self in the
 //                                       middle of the N-th elastic rebuild
+//                   [--disk-fault-at-epoch N]  test hook: snapshot writes
+//                                       fail with ENOSPC starting at epoch
+//                                       N (exercises --checkpoint-on-error)
+//                   [--disk-fault-attempts K]  how many writes fail (1)
 //                   [--select dense|rs|topk]  override the strategy's
 //                                       gradient selection (topk = entity-
 //                                       wise Top-K by accumulated row norm
@@ -312,13 +333,17 @@ int cmd_train_federated(const util::ArgParser& args,
 
   std::unique_ptr<comm::FaultInjector> faults;
   const std::string fault_spec = args.get_string("fault-spec", "");
-  if (!fault_spec.empty()) {
+  const double deadline = args.get_double("collective-deadline", 0.0);
+  if (!fault_spec.empty() || args.get_bool("wire-checksums", false) ||
+      deadline > 0.0) {
     comm::RetryPolicy retry;
     retry.max_attempts =
         static_cast<int>(args.get_int("fault-retry-limit", 4));
     retry.backoff_seconds = args.get_double("fault-backoff-base", 1e-3);
     faults = std::make_unique<comm::FaultInjector>(
-        comm::FaultInjector::parse_spec(fault_spec), retry);
+        fault_spec.empty() ? std::vector<comm::FaultEvent>{}
+                           : comm::FaultInjector::parse_spec(fault_spec),
+        retry, deadline);
     config.fault_injector = faults.get();
   }
 
@@ -389,7 +414,68 @@ int cmd_train_federated(const util::ArgParser& args,
   return 0;
 }
 
+/// `dynkge train --help`: the fault-tolerance / robustness flag table
+/// (the full flag reference lives in the header comment of this file).
+int cmd_train_help() {
+  std::cout <<
+      "dynkge train — train a KGE model on a simulated cluster\n"
+      "\n"
+      "Core:\n"
+      "  --data DIR | --preset NAME   dataset (OpenKE layout | synthetic)\n"
+      "  --strategy S                 allreduce|allgather|ps|rs|rs1bit|drs|\n"
+      "                               drs1bit|full\n"
+      "  --nodes N --rank N --batch N --lr X --tolerance N --max-epochs N\n"
+      "  --seed N --model complex|distmult|transe --host-threads N\n"
+      "  --select dense|rs|topk --topk-k N --drs-topk-arm\n"
+      "  --trainer distributed|hogwild|federated\n"
+      "\n"
+      "Checkpointing:\n"
+      "  --checkpoint-dir DIR         atomic full-state snapshots into DIR\n"
+      "  --checkpoint-every N         snapshot period in epochs (default 1)\n"
+      "  --checkpoint-keep N          snapshots retained: the primary plus\n"
+      "                               N-1 epoch-stamped history copies\n"
+      "                               (default 1); retention never deletes\n"
+      "                               the last known-good snapshot\n"
+      "  --checkpoint-on-error P      failed-write policy: fail (default),\n"
+      "                               skip (log + keep training), retry\n"
+      "                               (re-attempt, then degrade to skip)\n"
+      "  --resume                     continue from DIR's newest valid\n"
+      "                               snapshot; a corrupt newest snapshot\n"
+      "                               falls back to the next older one\n"
+      "\n"
+      "Fault injection & integrity:\n"
+      "  --fault-spec S               e.g. \"crash@1@40,transient@0@12@2,\n"
+      "                               straggler@2@30@0.5,corrupt@1@e2,\n"
+      "                               hang@0@e3\" (see comm/fault.hpp)\n"
+      "  --wire-checksums             FNV-1a payload checksums on every\n"
+      "                               collective, even with no --fault-spec\n"
+      "  --collective-deadline X      watchdog: a hung collective or a\n"
+      "                               straggler stalled past X simulated\n"
+      "                               seconds becomes a deterministic rank\n"
+      "                               failure (0 = off; required by hang@)\n"
+      "  --fault-retry-limit N        retry attempts per collective (4)\n"
+      "  --fault-backoff-base X       modeled seconds before first retry\n"
+      "  --elastic                    shrink-world recovery from permanent\n"
+      "                               rank failures\n"
+      "  --max-rank-failures N        cumulative crash budget for --elastic\n"
+      "\n"
+      "Test hooks (harnesses):\n"
+      "  --kill-at-epoch N --kill-mid-write B --kill-in-recovery N\n"
+      "  --disk-fault-at-epoch N      fail snapshot writes with ENOSPC\n"
+      "                               starting at epoch N\n"
+      "  --disk-fault-attempts K      how many writes fail (default 1)\n"
+      "\n"
+      "Telemetry & output:\n"
+      "  --metrics-out F --trace-out F.json --events-out F.jsonl\n"
+      "  --save-model F --report F.json\n"
+      "\n"
+      "Exit codes: 0 success, 1 error, 2 usage, 3 rank failure beyond the\n"
+      "recovery budget, 4 (analyze) decision contradicts measurements.\n";
+  return 0;
+}
+
 int cmd_train(const util::ArgParser& args) {
+  if (args.has_flag("help")) return cmd_train_help();
   const kge::Dataset dataset = dataset_from_flags(args);
   std::cout << dataset.summary("dataset") << "\n";
 
@@ -433,9 +519,16 @@ int cmd_train(const util::ArgParser& args) {
   config.checkpoint.every =
       static_cast<int>(args.get_int("checkpoint-every", 1));
   config.checkpoint.resume = args.get_bool("resume", false);
+  config.checkpoint.on_error = args.get_string("checkpoint-on-error", "fail");
+  config.checkpoint.keep =
+      static_cast<int>(args.get_int("checkpoint-keep", 1));
   config.checkpoint.test_kill_at_epoch =
       static_cast<int>(args.get_int("kill-at-epoch", -1));
   config.checkpoint.test_kill_mid_write = args.get_int("kill-mid-write", -1);
+  config.checkpoint.test_disk_fault_at_epoch =
+      static_cast<int>(args.get_int("disk-fault-at-epoch", -1));
+  config.checkpoint.test_disk_fault_attempts =
+      static_cast<int>(args.get_int("disk-fault-attempts", 1));
   config.elastic.enabled = args.get_bool("elastic", false);
   config.elastic.max_rank_failures =
       static_cast<int>(args.get_int("max-rank-failures", 0));
@@ -444,18 +537,27 @@ int cmd_train(const util::ArgParser& args) {
   config.fault_retry_limit =
       static_cast<int>(args.get_int("fault-retry-limit", 4));
   config.fault_backoff_base = args.get_double("fault-backoff-base", 1e-3);
+  config.collective_deadline = args.get_double("collective-deadline", 0.0);
   std::unique_ptr<comm::FaultInjector> faults;
   const std::string fault_spec = args.get_string("fault-spec", "");
-  if (!fault_spec.empty() && config.fault_retry_limit >= 1 &&
-      config.fault_backoff_base > 0.0) {
-    // Out-of-range retry knobs skip injector construction (whose own
-    // validation cannot name a flag) and let the trainer report the
-    // offending flag by name.
+  const bool wire_checksums = args.get_bool("wire-checksums", false);
+  // An injector is attached for any fault schedule, for --wire-checksums
+  // (empty schedule; arms the per-collective integrity checksums), and
+  // for a watchdog deadline with no scheduled faults.
+  if ((!fault_spec.empty() || wire_checksums ||
+       config.collective_deadline > 0.0) &&
+      config.fault_retry_limit >= 1 && config.fault_backoff_base > 0.0 &&
+      config.collective_deadline >= 0.0) {
+    // Out-of-range knobs skip injector construction (whose own validation
+    // cannot name a flag) and let the trainer report the offending flag by
+    // name.
     comm::RetryPolicy retry;
     retry.max_attempts = config.fault_retry_limit;
     retry.backoff_seconds = config.fault_backoff_base;
     faults = std::make_unique<comm::FaultInjector>(
-        comm::FaultInjector::parse_spec(fault_spec), retry);
+        fault_spec.empty() ? std::vector<comm::FaultEvent>{}
+                           : comm::FaultInjector::parse_spec(fault_spec),
+        retry, config.collective_deadline);
     config.fault_injector = faults.get();
   }
 
@@ -493,7 +595,11 @@ int cmd_train(const util::ArgParser& args) {
       const auto c = faults->counters();
       std::cerr << "faults: " << c.crashes << " crashes, " << c.transients
                 << " transients recovered, " << c.exhausted
-                << " retry budgets exhausted\n";
+                << " retry budgets exhausted\n"
+                << "integrity: " << c.corrupted_payloads
+                << " corrupted payloads, " << c.corruptions_detected
+                << " detected, " << c.retransmits << " retransmits, "
+                << c.watchdog_trips << " watchdog trips\n";
     }
     return 3;
   }
@@ -515,7 +621,11 @@ int cmd_train(const util::ArgParser& args) {
     std::cout << "faults injected: " << c.crashes << " crashes, "
               << c.transients << " transients (" << c.retries
               << " retries, " << c.backoff_seconds << " s backoff), "
-              << c.stragglers << " stragglers\n";
+              << c.stragglers << " stragglers\n"
+              << "integrity: " << c.corrupted_payloads
+              << " corrupted payloads, " << c.corruptions_detected
+              << " detected, " << c.retransmits << " retransmits, "
+              << c.watchdog_trips << " watchdog trips\n";
   }
   std::cout << "epochs: " << report.epochs
             << "  TT(sim): " << report.total_sim_seconds << " s"
